@@ -1,0 +1,24 @@
+.PHONY: install test bench examples figures clean
+
+install:
+	pip install -e '.[test]'
+
+test:
+	pytest tests/
+
+bench:
+	pytest benchmarks/ --benchmark-only
+
+examples:
+	@for script in examples/*.py; do \
+		echo "== $$script =="; \
+		python $$script || exit 1; \
+		echo; \
+	done
+
+figures:
+	python -m repro run all
+
+clean:
+	rm -rf benchmarks/out .pytest_cache .hypothesis
+	find . -name __pycache__ -type d -exec rm -rf {} +

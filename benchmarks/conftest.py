@@ -1,0 +1,44 @@
+"""Benchmark-suite configuration.
+
+Each benchmark regenerates one paper table/figure: it runs the experiment
+driver once under pytest-benchmark (simulations are seconds-long, so a
+single round is measured), asserts the published *shape*, and writes the
+rendered reproduction plus CSV series under ``benchmarks/out/`` for
+inspection.
+
+Run with::
+
+    pytest benchmarks/ --benchmark-only
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+#: Where rendered figures and CSV series are written.
+OUT_DIR = Path(__file__).parent / "out"
+
+
+@pytest.fixture(scope="session")
+def out_dir() -> Path:
+    OUT_DIR.mkdir(exist_ok=True)
+    return OUT_DIR
+
+
+@pytest.fixture
+def save_artifact(out_dir):
+    """Write a rendered experiment to benchmarks/out/<name>.txt."""
+
+    def _save(name: str, rendered: str) -> Path:
+        path = out_dir / f"{name}.txt"
+        path.write_text(rendered + "\n")
+        return path
+
+    return _save
+
+
+def run_once(benchmark, fn, *args, **kwargs):
+    """Measure a single execution of a seconds-long simulation."""
+    return benchmark.pedantic(fn, args=args, kwargs=kwargs, rounds=1, iterations=1)

@@ -1,0 +1,79 @@
+#!/usr/bin/env python3
+"""Lecture capture for a single instructor (paper Section 5.2).
+
+Simulates three years of Monday/Wednesday/Friday lecture captures — a
+1 Mbps university stream plus up to three student MPEG-4 interpretations
+per lecture — onto one 80 GiB desktop disk, and reports who achieved what
+lifetime.
+
+Run with::
+
+    python examples/lecture_capture.py [capacity_gib]
+"""
+
+import sys
+
+from repro.analysis.lifetimes import lifetime_stats
+from repro.experiments.common import (
+    POLICY_TEMPORAL,
+    LectureSetup,
+    run_lecture_scenario,
+)
+from repro.report.table import TextTable
+from repro.sim.workload.lecture import STUDENT_CREATOR, UNIVERSITY_CREATOR
+
+
+def main() -> None:
+    capacity_gib = int(sys.argv[1]) if len(sys.argv) > 1 else 80
+    print(f"Simulating 3 years of lecture capture on a {capacity_gib} GiB disk...")
+    result = run_lecture_scenario(
+        LectureSetup(
+            capacity_gib=capacity_gib,
+            horizon_days=3 * 365.0,
+            policy=POLICY_TEMPORAL,
+        )
+    )
+
+    summary = result.summary
+    print(
+        f"arrivals={summary['arrivals']:.0f} admitted={summary['admitted']:.0f} "
+        f"rejected={summary['rejected']:.0f} mean density={summary['mean_density']:.3f}"
+    )
+
+    table = TextTable(
+        ["creator", "evicted", "mean life (d)", "median (d)", "p90 (d)", "mean satisfaction"],
+        title="Achieved lifetimes by creator (preemption victims)",
+    )
+    for creator in (UNIVERSITY_CREATOR, STUDENT_CREATOR):
+        records = [
+            r
+            for r in result.recorder.evictions
+            if r.reason == "preempted" and r.obj.creator == creator
+        ]
+        if not records:
+            table.add_row([creator, 0, "-", "-", "-", "-"])
+            continue
+        stats = lifetime_stats(records)
+        table.add_row(
+            [
+                creator,
+                stats.n,
+                round(stats.mean_days, 1),
+                round(stats.median_days, 1),
+                round(stats.p90_days, 1),
+                round(stats.mean_satisfaction, 3),
+            ]
+        )
+    print()
+    print(table.render())
+    print()
+    print(
+        "University lectures (importance 1.0, two-year wane) out-live student\n"
+        "streams (importance 0.5, two-week wane); re-run with a larger\n"
+        "capacity to watch students gain persistence without any annotation\n"
+        "change — the paper's scalability claim."
+    )
+
+
+if __name__ == "__main__":
+    main()

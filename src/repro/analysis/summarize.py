@@ -1,0 +1,92 @@
+"""Small descriptive-statistics helpers.
+
+Kept dependency-light (plain Python with numpy only where it pays) so the
+report layer and the tests can share exact semantics.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Sequence
+
+__all__ = ["Description", "describe", "percentile", "coefficient_of_variation"]
+
+
+@dataclass(frozen=True)
+class Description:
+    """Five-number-plus summary of a sample."""
+
+    n: int
+    mean: float
+    std: float
+    minimum: float
+    p25: float
+    median: float
+    p75: float
+    maximum: float
+
+    def as_dict(self) -> dict[str, float]:
+        return {
+            "n": float(self.n),
+            "mean": self.mean,
+            "std": self.std,
+            "min": self.minimum,
+            "p25": self.p25,
+            "median": self.median,
+            "p75": self.p75,
+            "max": self.maximum,
+        }
+
+
+def percentile(values: Sequence[float], q: float) -> float:
+    """Linear-interpolation percentile (``q`` in [0, 100]) of a sample.
+
+    Matches numpy's default ("linear") method; raises on empty input.
+    """
+    if not values:
+        raise ValueError("cannot take a percentile of an empty sample")
+    if not 0.0 <= q <= 100.0:
+        raise ValueError(f"q must be in [0, 100], got {q}")
+    ordered = sorted(values)
+    if len(ordered) == 1:
+        return float(ordered[0])
+    rank = (len(ordered) - 1) * q / 100.0
+    lo = int(math.floor(rank))
+    hi = int(math.ceil(rank))
+    if lo == hi:
+        return float(ordered[lo])
+    frac = rank - lo
+    return float(ordered[lo] * (1.0 - frac) + ordered[hi] * frac)
+
+
+def describe(values: Sequence[float]) -> Description:
+    """Descriptive summary of a non-empty sample (population std)."""
+    if not values:
+        raise ValueError("cannot describe an empty sample")
+    n = len(values)
+    mean = sum(values) / n
+    variance = sum((v - mean) ** 2 for v in values) / n
+    return Description(
+        n=n,
+        mean=mean,
+        std=math.sqrt(variance),
+        minimum=float(min(values)),
+        p25=percentile(values, 25),
+        median=percentile(values, 50),
+        p75=percentile(values, 75),
+        maximum=float(max(values)),
+    )
+
+
+def coefficient_of_variation(values: Sequence[float]) -> float:
+    """std/mean of a sample; ``inf`` when the mean is zero.
+
+    The figure-of-merit for time-constant stability: a CV near zero means
+    an application could predict its Palimpsest sojourn; a large CV means
+    it cannot.
+    """
+    desc = describe(values)
+    if desc.mean == 0.0:
+        return math.inf
+    return desc.std / abs(desc.mean)

@@ -1,0 +1,88 @@
+"""The client-facing Besteffs write path: auth → fairness → placement.
+
+Composes the distributed-control pieces the paper sketches for Besteffs
+(Section 4.1) into one entry point.  A store request:
+
+1. is **authenticated/authorised** against the caller's capability
+   (signature, expiry, byte limit, initial-importance ceiling);
+2. is **charged** against the principal's fair-share budget of
+   byte-importance-minutes (refunded if the cluster later refuses);
+3. runs the ordinary ``x``-sample / ``m``-try **placement** rule.
+
+Every check is locally verifiable (HMAC capability, per-node or client-
+side ledger), preserving the no-central-components property.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.besteffs.auth import AuthError, Capability, CapabilityRealm
+from repro.besteffs.cluster import BesteffsCluster
+from repro.besteffs.fairness import FairnessError, FairShareLedger
+from repro.besteffs.placement import PlacementDecision
+from repro.core.obj import StoredObject
+
+__all__ = ["StoreOutcome", "BesteffsGateway"]
+
+
+@dataclass(frozen=True)
+class StoreOutcome:
+    """Result of one gateway store request."""
+
+    stored: bool
+    #: Which gate refused, if any: "auth" | "fairness" | "placement".
+    refused_by: str | None
+    detail: str
+    decision: PlacementDecision | None = None
+    cost_charged: float = 0.0
+
+
+@dataclass
+class BesteffsGateway:
+    """Authenticated, fairness-policed facade over a cluster."""
+
+    cluster: BesteffsCluster
+    realm: CapabilityRealm
+    ledger: FairShareLedger
+    #: Counters per refusal gate, for experiments.
+    refusals: dict[str, int] = field(
+        default_factory=lambda: {"auth": 0, "fairness": 0, "placement": 0}
+    )
+
+    def store(
+        self, capability: Capability, obj: StoredObject, now: float
+    ) -> StoreOutcome:
+        """Run the full write path for one object."""
+        try:
+            self.realm.authorize_store(capability, obj, now)
+        except AuthError as exc:
+            self.refusals["auth"] += 1
+            return StoreOutcome(stored=False, refused_by="auth", detail=str(exc))
+
+        try:
+            cost = self.ledger.charge(capability.principal, obj, now)
+        except FairnessError as exc:
+            self.refusals["fairness"] += 1
+            return StoreOutcome(stored=False, refused_by="fairness", detail=str(exc))
+
+        decision, _result = self.cluster.offer(obj, now)
+        if not decision.placed:
+            # The storage itself was full for this importance: the budget
+            # was not actually consumed.
+            self.ledger.refund(capability.principal, cost, now)
+            self.refusals["placement"] += 1
+            return StoreOutcome(
+                stored=False,
+                refused_by="placement",
+                detail="cluster full for this object's importance",
+                decision=decision,
+                cost_charged=0.0,
+            )
+        return StoreOutcome(
+            stored=True,
+            refused_by=None,
+            detail=f"placed on {decision.node_id}",
+            decision=decision,
+            cost_charged=cost,
+        )

@@ -1,0 +1,164 @@
+"""The Section 5.3 placement rule.
+
+To store an object, the reclamation algorithm:
+
+1. randomly picks ``x`` storage units (random walks on the overlay);
+2. probes each for the **highest importance object that will be
+   preempted** were the object stored there;
+3. stores *directly* on any probed unit whose highest preempted importance
+   is zero (only free space / expired residents are displaced);
+4. marks a unit *full for this object* when its highest preempted
+   importance is not lower than the object's current importance;
+5. otherwise retries for up to ``m`` successive rounds and finally picks
+   the admissible unit with the **lowest** highest-preempted importance.
+
+The comparison is deliberately *not* size-weighted (the paper calls this
+out explicitly); :class:`PlacementConfig.size_weighted` enables the
+ablation that weights it.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Mapping
+
+from repro.besteffs.node import BesteffsNode, ProbeResult
+from repro.besteffs.overlay import Overlay
+from repro.besteffs.walks import DEFAULT_WALK_LENGTH, sample_nodes
+from repro.core.obj import StoredObject
+from repro.errors import PlacementError
+
+__all__ = ["PlacementConfig", "PlacementDecision", "choose_unit"]
+
+
+@dataclass(frozen=True)
+class PlacementConfig:
+    """Tunables of the distributed placement rule."""
+
+    #: Units sampled per round (the paper's ``x``).
+    x: int = 5
+    #: Maximum successive sampling rounds (the paper's ``m``).
+    m: int = 3
+    #: Steps per random walk.
+    walk_length: int = DEFAULT_WALK_LENGTH
+    #: Ablation: weight the probe by victim size (paper: False).
+    size_weighted: bool = False
+
+    def __post_init__(self) -> None:
+        if self.x < 1:
+            raise PlacementError(f"x must be >= 1, got {self.x}")
+        if self.m < 1:
+            raise PlacementError(f"m must be >= 1, got {self.m}")
+        if self.walk_length < 0:
+            raise PlacementError(f"walk_length must be >= 0, got {self.walk_length}")
+
+
+@dataclass(frozen=True)
+class PlacementDecision:
+    """Outcome of running the placement rule for one object."""
+
+    placed: bool
+    node_id: str | None
+    rounds_used: int
+    nodes_probed: int
+    #: Probe score of the chosen unit (0.0 for a direct store).
+    chosen_score: float
+    reason: str  # "direct" | "lowest-preempted" | "all-full"
+
+
+def _probe_score(probe: ProbeResult, now: float, size_weighted: bool) -> float:
+    """The scalar the rule minimises across candidate units.
+
+    Paper semantics: the raw highest preempted importance.  With
+    ``size_weighted`` (ablation) the score becomes the size-weighted mean
+    importance of the victim set, so a unit is no longer penalised for a
+    tiny high-importance victim that contributes 1 % of the space.
+    """
+    if not size_weighted or not probe.plan.victims:
+        return probe.highest_preempted
+    total = probe.plan.victim_bytes
+    if total == 0:
+        return probe.highest_preempted
+    weighted = sum(v.importance_at(now) * v.size for v in probe.plan.victims)
+    return weighted / total
+
+
+def choose_unit(
+    nodes: Mapping[str, BesteffsNode],
+    overlay: Overlay,
+    obj: StoredObject,
+    now: float,
+    *,
+    config: PlacementConfig,
+    rng: random.Random,
+    start_node: str | None = None,
+) -> tuple[PlacementDecision, BesteffsNode | None]:
+    """Run the placement rule; returns the decision and the chosen node.
+
+    The chosen node (if any) has **not** been mutated; the caller commits
+    via :meth:`BesteffsNode.accept`.  ``start_node`` anchors the random
+    walks (defaults to a uniformly random member, modelling the client's
+    own desktop as the walk origin).
+    """
+    if not nodes:
+        raise PlacementError("cannot place on an empty cluster")
+    node_ids = overlay.node_ids
+    origin = start_node if start_node is not None else rng.choice(node_ids)
+    if origin not in nodes:
+        raise PlacementError(f"start node {origin!r} is not a cluster member")
+
+    best_score = float("inf")
+    best_node: BesteffsNode | None = None
+    probed_total = 0
+
+    for round_no in range(1, config.m + 1):
+        sampled = sample_nodes(
+            overlay, origin, config.x, rng, walk_length=config.walk_length
+        )
+        for node_id in sampled:
+            node = nodes[node_id]
+            probe = node.probe(obj, now)
+            probed_total += 1
+            if not probe.admissible:
+                continue  # full for this object (or oversized here)
+            if probe.direct:
+                return (
+                    PlacementDecision(
+                        placed=True,
+                        node_id=node_id,
+                        rounds_used=round_no,
+                        nodes_probed=probed_total,
+                        chosen_score=0.0,
+                        reason="direct",
+                    ),
+                    node,
+                )
+            score = _probe_score(probe, now, config.size_weighted)
+            if score < best_score:
+                best_score = score
+                best_node = node
+
+    if best_node is None:
+        return (
+            PlacementDecision(
+                placed=False,
+                node_id=None,
+                rounds_used=config.m,
+                nodes_probed=probed_total,
+                chosen_score=float("inf"),
+                reason="all-full",
+            ),
+            None,
+        )
+    return (
+        PlacementDecision(
+            placed=True,
+            node_id=best_node.node_id,
+            rounds_used=config.m,
+            nodes_probed=probed_total,
+            chosen_score=best_score,
+            reason="lowest-preempted",
+        ),
+        best_node,
+    )

@@ -1,0 +1,91 @@
+"""Write-once versioned object names (Section 4.1).
+
+Besteffs objects are "read-only and write once with versioned updates": an
+application-level *name* maps to an append-only chain of immutable object
+versions.  Updating a name never touches stored bytes — it stores a brand
+new object and records it as the next version.  Old versions keep their own
+annotations and are reclaimed independently by storage pressure, so a
+namespace read must tolerate missing (reclaimed) versions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING
+
+from repro.core.obj import ObjectId, StoredObject
+from repro.errors import UnknownObjectError, VersioningError
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.besteffs.cluster import BesteffsCluster
+
+__all__ = ["VersionRecord", "VersionedNamespace"]
+
+
+@dataclass(frozen=True)
+class VersionRecord:
+    """One immutable version of a named object."""
+
+    name: str
+    version: int
+    object_id: ObjectId
+    t_written: float
+
+
+class VersionedNamespace:
+    """Name → version-chain index over a Besteffs cluster.
+
+    The namespace itself is metadata (small, kept by the writing
+    application or a directory service); only the object bytes live in the
+    cluster.
+    """
+
+    def __init__(self, cluster: "BesteffsCluster"):
+        self._cluster = cluster
+        self._chains: dict[str, list[VersionRecord]] = {}
+
+    def put(self, name: str, obj: StoredObject, now: float) -> VersionRecord | None:
+        """Write a new version of ``name``; returns None if placement failed.
+
+        Raises :class:`VersioningError` if the exact object id was already
+        recorded under this name (an in-place rewrite attempt).
+        """
+        if not name:
+            raise VersioningError("version names must be non-empty")
+        chain = self._chains.setdefault(name, [])
+        if any(record.object_id == obj.object_id for record in chain):
+            raise VersioningError(
+                f"object {obj.object_id!r} already recorded under {name!r}; "
+                "Besteffs objects are write-once"
+            )
+        decision, _result = self._cluster.offer(obj, now)
+        if not decision.placed:
+            return None
+        record = VersionRecord(
+            name=name, version=len(chain) + 1, object_id=obj.object_id, t_written=now
+        )
+        chain.append(record)
+        return record
+
+    def versions(self, name: str) -> tuple[VersionRecord, ...]:
+        """All recorded versions of a name, oldest first."""
+        if name not in self._chains:
+            raise UnknownObjectError(f"no versions recorded for {name!r}")
+        return tuple(self._chains[name])
+
+    def latest_available(self, name: str) -> VersionRecord | None:
+        """Newest version whose bytes still survive in the cluster.
+
+        Reclamation may have evicted any prefix (or all) of the chain;
+        returns None when nothing survives.
+        """
+        for record in reversed(self.versions(name)):
+            if record.object_id in self._cluster:
+                return record
+        return None
+
+    def surviving_fraction(self, name: str) -> float:
+        """Fraction of recorded versions still resident (health metric)."""
+        chain = self.versions(name)
+        alive = sum(1 for record in chain if record.object_id in self._cluster)
+        return alive / len(chain)

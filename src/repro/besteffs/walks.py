@@ -1,0 +1,69 @@
+"""Random-walk sampling over the overlay.
+
+"Random walks on our p2p overlay help us choose a good set of storage
+units" (Section 5.3).  On a (near-)regular connected graph, the endpoint
+of a sufficiently long walk is close to uniform over nodes, so repeated
+walks yield the ``x`` candidate units the placement rule needs without any
+global membership view.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.besteffs.overlay import Overlay
+from repro.errors import OverlayError
+
+__all__ = ["random_walk", "sample_nodes"]
+
+#: Default walk length; ≥ the mixing time of the default 8-regular overlay
+#: at the paper's 2,000-node scale.
+DEFAULT_WALK_LENGTH = 16
+
+
+def random_walk(
+    overlay: Overlay, start: str, length: int, rng: random.Random
+) -> str:
+    """Return the endpoint of a ``length``-step simple random walk."""
+    if start not in overlay:
+        raise OverlayError(f"walk start {start!r} is not an overlay member")
+    if length < 0:
+        raise OverlayError(f"walk length must be >= 0, got {length}")
+    current = start
+    for _ in range(length):
+        neighbors = overlay.neighbors(current)
+        if not neighbors:
+            return current  # isolated single-node overlay
+        current = rng.choice(neighbors)
+    return current
+
+
+def sample_nodes(
+    overlay: Overlay,
+    start: str,
+    x: int,
+    rng: random.Random,
+    *,
+    walk_length: int = DEFAULT_WALK_LENGTH,
+    max_attempts_factor: int = 8,
+) -> list[str]:
+    """Collect up to ``x`` *distinct* nodes via independent random walks.
+
+    Walk endpoints may repeat, so the sampler retries until it has ``x``
+    distinct units or has spent ``x * max_attempts_factor`` walks — on a
+    small overlay fewer than ``x`` distinct nodes may exist at all, in
+    which case every member found is returned.
+    """
+    if x < 1:
+        raise OverlayError(f"sample size x must be >= 1, got {x}")
+    found: list[str] = []
+    seen: set[str] = set()
+    attempts = 0
+    limit = x * max_attempts_factor
+    while len(found) < x and attempts < limit:
+        endpoint = random_walk(overlay, start, walk_length, rng)
+        attempts += 1
+        if endpoint not in seen:
+            seen.add(endpoint)
+            found.append(endpoint)
+    return found

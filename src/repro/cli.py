@@ -1,0 +1,336 @@
+"""Command-line interface: run any experiment from the shell.
+
+Usage::
+
+    repro-sim list
+    repro-sim run fig3 [--horizon-days 365] [--seed 42] [--csv out.csv]
+    repro-sim run all
+
+Each experiment prints the same tables/ASCII charts its driver renders;
+``--csv`` additionally dumps the primary series for external plotting.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Any, Callable
+
+from repro.report.csvout import write_csv
+
+__all__ = ["main", "EXPERIMENTS"]
+
+
+def _fig2(args: argparse.Namespace) -> tuple[Any, str, list]:
+    from repro.experiments import fig2_storage_requirements as mod
+
+    result = mod.run(horizon_days=args.horizon_days, seed=args.seed)
+    rows = [(t, total) for t, total in result.series]
+    return result, mod.render(result), [("t_minutes", "cumulative_bytes"), rows]
+
+
+def _fig3(args: argparse.Namespace) -> tuple[Any, str, list]:
+    from repro.experiments import fig3_lifetimes as mod
+
+    result = mod.run(horizon_days=args.horizon_days, seed=args.seed)
+    rows = [
+        (cap, policy, day, mean, n)
+        for (cap, policy), series in result.series.items()
+        for day, mean, n in series
+    ]
+    return (
+        result,
+        mod.render(result),
+        [("capacity_gib", "policy", "bucket_day", "mean_days", "count"), rows],
+    )
+
+
+def _fig4(args: argparse.Namespace) -> tuple[Any, str, list]:
+    from repro.experiments import fig4_rejections as mod
+
+    result = mod.run(horizon_days=args.horizon_days, seed=args.seed)
+    rows = [
+        (cap, policy, t, count)
+        for (cap, policy), series in result.cumulative.items()
+        for t, count in series
+    ]
+    return (
+        result,
+        mod.render(result),
+        [("capacity_gib", "policy", "t_minutes", "cumulative_rejections"), rows],
+    )
+
+
+def _fig5(args: argparse.Namespace) -> tuple[Any, str, list]:
+    from repro.experiments import fig5_timeconstant as mod
+
+    result = mod.run(horizon_days=args.horizon_days, seed=args.seed)
+    rows = [
+        (name, t, tau)
+        for name, series in result.series.items()
+        for t, tau in series.points
+    ]
+    return result, mod.render(result), [("window", "t_minutes", "tau_minutes"), rows]
+
+
+def _fig6(args: argparse.Namespace) -> tuple[Any, str, list]:
+    from repro.experiments import fig6_density as mod
+
+    result = mod.run(horizon_days=args.horizon_days, seed=args.seed)
+    rows = [
+        (cap, t, density)
+        for cap, series in result.series.items()
+        for t, density in series
+    ]
+    return result, mod.render(result), [("capacity_gib", "t_minutes", "density"), rows]
+
+
+def _fig7(args: argparse.Namespace) -> tuple[Any, str, list]:
+    from repro.experiments import fig7_cdf as mod
+
+    result = mod.run(horizon_days=args.horizon_days, seed=args.seed)
+    rows = list(result.cdf)
+    return result, mod.render(result), [("importance", "cumulative_fraction"), rows]
+
+
+def _fig8(args: argparse.Namespace) -> tuple[Any, str, list]:
+    from repro.experiments import fig8_downloads as mod
+
+    result = mod.run(seed=args.seed)
+    rows = list(result.trace)
+    return result, mod.render(result), [("day", "downloads"), rows]
+
+
+def _table1(args: argparse.Namespace) -> tuple[Any, str, list]:
+    from repro.experiments import table1_parameters as mod
+
+    result = mod.run()
+    rows = list(result.rows)
+    return result, mod.render(result), [("term", "begin_doy", "t_persist", "t_wane_days"), rows]
+
+
+def _fig9(args: argparse.Namespace) -> tuple[Any, str, list]:
+    from repro.experiments import fig9_lecture_lifetimes as mod
+
+    result = mod.run(horizon_days=args.horizon_days or 5 * 365.0, seed=args.seed)
+    rows = [
+        (cap, creator, day, mean, n)
+        for (cap, creator), series in result.series.items()
+        for day, mean, n in series
+    ]
+    return (
+        result,
+        mod.render(result),
+        [("capacity_gib", "creator", "bucket_day", "mean_days", "count"), rows],
+    )
+
+
+def _fig10(args: argparse.Namespace) -> tuple[Any, str, list]:
+    from repro.experiments import fig10_reclamation_importance as mod
+
+    result = mod.run(horizon_days=args.horizon_days or 5 * 365.0, seed=args.seed)
+    rows = [
+        (cap, policy, day, imp, n)
+        for (cap, policy), series in result.series.items()
+        for day, imp, n in series
+    ]
+    return (
+        result,
+        mod.render(result),
+        [("capacity_gib", "policy", "bucket_day", "mean_importance", "count"), rows],
+    )
+
+
+def _fig11(args: argparse.Namespace) -> tuple[Any, str, list]:
+    from repro.experiments import fig11_lecture_timeconstant as mod
+
+    result = mod.run(horizon_days=args.horizon_days or 3 * 365.0, seed=args.seed)
+    rows = [
+        (name, t, tau)
+        for name, series in result.series.items()
+        for t, tau in series.points
+    ]
+    return result, mod.render(result), [("window", "t_minutes", "tau_minutes"), rows]
+
+
+def _fig12(args: argparse.Namespace) -> tuple[Any, str, list]:
+    from repro.experiments import fig12_lecture_density as mod
+
+    result = mod.run(horizon_days=args.horizon_days or 5 * 365.0, seed=args.seed)
+    rows = [
+        (cap, t, density)
+        for cap, series in result.series.items()
+        for t, density in series
+    ]
+    return result, mod.render(result), [("capacity_gib", "t_minutes", "density"), rows]
+
+
+def _sec53(args: argparse.Namespace) -> tuple[Any, str, list]:
+    from repro.experiments import sec53_university as mod
+
+    result = mod.run(horizon_days=args.horizon_days or 400.0, seed=args.seed)
+    rows = [
+        (cap, stats.placed, stats.rejected, stats.mean_density)
+        for cap, stats in result.stats.items()
+    ]
+    return (
+        result,
+        mod.render(result),
+        [("node_capacity_gib", "placed", "rejected", "mean_density"), rows],
+    )
+
+
+def _ext_mixed(args: argparse.Namespace) -> tuple[Any, str, list]:
+    from repro.experiments import ext_mixed_apps as mod
+
+    result = mod.run(horizon_days=args.horizon_days or 365.0, seed=args.seed)
+    rows = [
+        (name, stats["arrivals"], stats["rejected"], stats["mean_life_days"])
+        for name, stats in result.per_class.items()
+    ]
+    return (
+        result,
+        mod.render(result),
+        [("class", "arrivals", "rejected", "mean_life_days"), rows],
+    )
+
+
+def _ext_churn(args: argparse.Namespace) -> tuple[Any, str, list]:
+    from repro.experiments import ext_churn as mod
+
+    result = mod.run(horizon_days=args.horizon_days or 365.0, seed=args.seed)
+    rows = [
+        ("placed", result.placed),
+        ("rejected", result.rejected),
+        ("preempted", result.preempted),
+        ("lost_to_departures", result.lost_to_departures),
+    ]
+    return result, mod.render(result), [("metric", "value"), rows]
+
+
+def _ext_refresh(args: argparse.Namespace) -> tuple[Any, str, list]:
+    from repro.experiments import ext_refresh as mod
+
+    result = mod.run(horizon_days=args.horizon_days or 200.0, seed=args.seed)
+    rows = [
+        (window, safety, o.registered, o.lost, o.refreshes)
+        for (window, safety), o in sorted(result.outcomes.items())
+    ]
+    return (
+        result,
+        mod.render(result),
+        [("window", "safety", "registered", "lost", "refreshes"), rows],
+    )
+
+
+def _ext_reads(args: argparse.Namespace) -> tuple[Any, str, list]:
+    from repro.experiments import ext_reads as mod
+
+    result = mod.run(seed=args.seed)
+    rows = [
+        (name, stats["hit_rate"], stats["hits"], stats["misses_never_stored"],
+         stats["misses_evicted"])
+        for name, stats in result.per_policy.items()
+    ]
+    return (
+        result,
+        mod.render(result),
+        [("variant", "hit_rate", "hits", "missed_never_stored", "missed_evicted"),
+         rows],
+    )
+
+
+def _ext_advisor(args: argparse.Namespace) -> tuple[Any, str, list]:
+    from repro.experiments import ext_advisor_loop as mod
+
+    result = mod.run(horizon_days=args.horizon_days or 200.0, seed=args.seed)
+    rows = [
+        (label, stats["admission_rate"], stats["mean_life_days"],
+         stats["mean_importance"])
+        for label, stats in result.per_strategy.items()
+    ]
+    return (
+        result,
+        mod.render(result),
+        [("strategy", "admission_rate", "mean_life_days", "mean_importance"), rows],
+    )
+
+
+EXPERIMENTS: dict[str, Callable[[argparse.Namespace], tuple[Any, str, list]]] = {
+    "fig2": _fig2,
+    "fig3": _fig3,
+    "fig4": _fig4,
+    "fig5": _fig5,
+    "fig6": _fig6,
+    "fig7": _fig7,
+    "fig8": _fig8,
+    "table1": _table1,
+    "fig9": _fig9,
+    "fig10": _fig10,
+    "fig11": _fig11,
+    "fig12": _fig12,
+    "sec53": _sec53,
+    "ext-mixed": _ext_mixed,
+    "ext-churn": _ext_churn,
+    "ext-refresh": _ext_refresh,
+    "ext-reads": _ext_reads,
+    "ext-advisor": _ext_advisor,
+}
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-sim",
+        description=(
+            "Reproduce the tables and figures of 'Automated Storage Reclamation "
+            "Using Temporal Importance Annotations' (ICDCS 2007)."
+        ),
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+    sub.add_parser("list", help="list available experiments")
+    run_parser = sub.add_parser("run", help="run one experiment (or 'all')")
+    run_parser.add_argument("experiment", choices=[*EXPERIMENTS, "all"])
+    run_parser.add_argument(
+        "--horizon-days",
+        type=float,
+        default=None,
+        help="simulated horizon (defaults per experiment; paper scale is 5*365)",
+    )
+    run_parser.add_argument("--seed", type=int, default=42, help="workload RNG seed")
+    run_parser.add_argument(
+        "--csv", type=str, default=None, help="also write the primary series to CSV"
+    )
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    args = build_parser().parse_args(argv)
+    if args.command == "list":
+        for name in EXPERIMENTS:
+            print(name)
+        return 0
+
+    names = list(EXPERIMENTS) if args.experiment == "all" else [args.experiment]
+    requested_horizon = args.horizon_days
+    for name in names:
+        args.horizon_days = (
+            requested_horizon
+            if requested_horizon is not None
+            else 365.0
+            if name in {"fig2", "fig3", "fig4", "fig5", "fig6", "fig7"}
+            else None
+        )
+        _result, rendered, (headers, rows) = EXPERIMENTS[name](args)
+        print(f"== {name} ==")
+        print(rendered)
+        print()
+        if args.csv is not None:
+            path = args.csv if len(names) == 1 else f"{args.csv.rstrip('.csv')}-{name}.csv"
+            write_csv(path, headers, rows)
+            print(f"[csv written to {path}]")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    sys.exit(main())

@@ -1,0 +1,81 @@
+"""Core contribution of the paper: temporal importance annotations,
+annotated storage objects, preemptive storage units, eviction policies and
+the storage-importance-density metric.
+
+The public surface of this package is re-exported here so that typical user
+code only needs::
+
+    from repro.core import (
+        TwoStepImportance, StoredObject, StorageUnit, TemporalImportancePolicy,
+    )
+"""
+
+from repro.core.importance import (
+    ConstantImportance,
+    DiracImportance,
+    ExponentialWaneImportance,
+    FixedLifetimeImportance,
+    ImportanceFunction,
+    PiecewiseLinearImportance,
+    ScaledImportance,
+    StepWaneImportance,
+    TwoStepImportance,
+)
+from repro.core.advisor import Advice, AnnotationAdvisor
+from repro.core.obj import ObjectId, StoredObject
+from repro.core.annotations import (
+    Annotation,
+    annotation_from_dict,
+    annotation_to_dict,
+    validate_importance_function,
+)
+from repro.core.store import AdmissionResult, EvictionRecord, StorageUnit
+from repro.core.density import (
+    byte_importance_snapshot,
+    importance_density,
+    importance_histogram,
+)
+from repro.core.policy import EvictionPolicy
+from repro.core.policies import (
+    FIFOPolicy,
+    FixedLifetimePolicy,
+    GreedySizePolicy,
+    LRUPolicy,
+    PalimpsestPolicy,
+    RandomPolicy,
+    TemporalImportancePolicy,
+)
+
+__all__ = [
+    "Advice",
+    "Annotation",
+    "AnnotationAdvisor",
+    "AdmissionResult",
+    "ConstantImportance",
+    "DiracImportance",
+    "EvictionPolicy",
+    "EvictionRecord",
+    "ExponentialWaneImportance",
+    "FIFOPolicy",
+    "FixedLifetimeImportance",
+    "FixedLifetimePolicy",
+    "GreedySizePolicy",
+    "ImportanceFunction",
+    "LRUPolicy",
+    "ObjectId",
+    "PalimpsestPolicy",
+    "PiecewiseLinearImportance",
+    "RandomPolicy",
+    "ScaledImportance",
+    "StepWaneImportance",
+    "StorageUnit",
+    "StoredObject",
+    "TemporalImportancePolicy",
+    "TwoStepImportance",
+    "annotation_from_dict",
+    "annotation_to_dict",
+    "byte_importance_snapshot",
+    "importance_density",
+    "importance_histogram",
+    "validate_importance_function",
+]

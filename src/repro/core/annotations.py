@@ -1,0 +1,213 @@
+"""Annotation validation and (de)serialisation.
+
+Importance annotations are the contract between content creators and the
+storage system, so they need to be (a) validated once, up front, against the
+paper's monotonicity requirement, and (b) serialisable so a distributed
+store can ship them alongside the object bytes.
+
+Two facilities live here:
+
+* :func:`validate_importance_function` — a sampling-based monotonicity and
+  range check usable against *any* :class:`ImportanceFunction`, including
+  user-defined subclasses the library has never seen.
+* :func:`annotation_to_dict` / :func:`annotation_from_dict` — a compact,
+  versioned wire format for the built-in function family.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Any, Mapping
+
+from repro.core.importance import (
+    ConstantImportance,
+    DiracImportance,
+    ExponentialWaneImportance,
+    FixedLifetimeImportance,
+    ImportanceFunction,
+    PiecewiseLinearImportance,
+    ScaledImportance,
+    StepWaneImportance,
+    TwoStepImportance,
+)
+from repro.errors import AnnotationError
+
+__all__ = [
+    "Annotation",
+    "validate_importance_function",
+    "annotation_to_dict",
+    "annotation_from_dict",
+]
+
+#: Wire-format schema version, bumped on incompatible changes.
+SCHEMA_VERSION = 1
+
+#: Tolerance for monotonicity violations attributable to float rounding.
+_MONOTONE_TOL = 1e-9
+
+
+@dataclass(frozen=True)
+class Annotation:
+    """A named, validated importance annotation.
+
+    Thin wrapper pairing an :class:`ImportanceFunction` with the creator
+    label it applies to; scenario code registers one annotation per content
+    class (e.g. ``Annotation("university-lecture", two_step)``).
+    """
+
+    name: str
+    function: ImportanceFunction
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise AnnotationError("annotation name must be non-empty")
+        validate_importance_function(self.function)
+
+
+def validate_importance_function(
+    func: ImportanceFunction,
+    *,
+    samples: int = 257,
+    horizon_minutes: float | None = None,
+) -> None:
+    """Check range and monotonicity of an importance function by sampling.
+
+    The check samples ``samples`` ages from 0 to ``horizon_minutes``
+    (default: ``t_expire`` when finite, else ten years) plus the exact
+    expiry age, and raises :class:`AnnotationError` if any sampled value
+    falls outside ``[0, 1]``, increases with age beyond float tolerance, or
+    is non-zero at/after ``t_expire``.
+
+    Sampling cannot *prove* monotonicity for adversarial functions, but it
+    is exact for the built-in family (whose segments are sampled densely)
+    and catches the realistic bugs in user-defined subclasses.
+    """
+    if not isinstance(func, ImportanceFunction):
+        raise AnnotationError(f"not an ImportanceFunction: {func!r}")
+    expire = func.t_expire
+    if math.isnan(expire) or expire < 0.0:
+        raise AnnotationError(f"t_expire must be >= 0 or inf, got {expire!r}")
+    if horizon_minutes is None:
+        horizon_minutes = expire if math.isfinite(expire) else 10 * 365 * 24 * 60.0
+    horizon_minutes = max(horizon_minutes, 1.0)
+    if samples < 2:
+        raise AnnotationError("samples must be >= 2")
+
+    ages = [horizon_minutes * i / (samples - 1) for i in range(samples)]
+    if math.isfinite(expire):
+        ages.extend([expire, expire * 1.000001 + 1.0])
+    ages.sort()
+
+    prev = math.inf
+    for age in ages:
+        value = func.importance_at(age)
+        if math.isnan(value) or not 0.0 <= value <= 1.0:
+            raise AnnotationError(f"L({age}) = {value!r} outside [0, 1] for {func!r}")
+        if value > prev + _MONOTONE_TOL:
+            raise AnnotationError(
+                f"importance increases with age for {func!r}: L({age}) = {value} > {prev}"
+            )
+        if math.isfinite(expire) and age >= expire and value > _MONOTONE_TOL:
+            raise AnnotationError(
+                f"L must be 0 at/after t_expire={expire}; got L({age}) = {value} for {func!r}"
+            )
+        prev = value
+
+
+# -- wire format -----------------------------------------------------------
+
+_KIND_BY_TYPE: dict[type, str] = {
+    ConstantImportance: "constant",
+    DiracImportance: "dirac",
+    FixedLifetimeImportance: "fixed",
+    TwoStepImportance: "two_step",
+    ExponentialWaneImportance: "exp_wane",
+    StepWaneImportance: "step_wane",
+    PiecewiseLinearImportance: "piecewise",
+    ScaledImportance: "scaled",
+}
+
+
+def annotation_to_dict(func: ImportanceFunction) -> dict[str, Any]:
+    """Serialise a built-in importance function to a plain JSON-safe dict.
+
+    Raises :class:`AnnotationError` for function types outside the built-in
+    family; user-defined functions must provide their own serialisation.
+    """
+    kind = _KIND_BY_TYPE.get(type(func))
+    if kind is None:
+        raise AnnotationError(f"cannot serialise importance function of type {type(func)!r}")
+    out: dict[str, Any] = {"schema": SCHEMA_VERSION, "kind": kind}
+    if isinstance(func, ConstantImportance):
+        out["p"] = func.p
+    elif isinstance(func, DiracImportance):
+        pass
+    elif isinstance(func, FixedLifetimeImportance):
+        out.update(p=func.p, expire_after=func.expire_after)
+    elif isinstance(func, TwoStepImportance):
+        out.update(p=func.p, t_persist=func.t_persist, t_wane=func.t_wane)
+    elif isinstance(func, ExponentialWaneImportance):
+        out.update(
+            p=func.p, t_persist=func.t_persist, t_wane=func.t_wane, sharpness=func.sharpness
+        )
+    elif isinstance(func, StepWaneImportance):
+        out.update(p=func.p, t_persist=func.t_persist, t_wane=func.t_wane, steps=func.steps)
+    elif isinstance(func, PiecewiseLinearImportance):
+        out["points"] = [[age, value] for age, value in func.points]
+    elif isinstance(func, ScaledImportance):
+        out["factor"] = func.factor
+        out["inner"] = annotation_to_dict(func.inner)
+    return out
+
+
+def annotation_from_dict(data: Mapping[str, Any]) -> ImportanceFunction:
+    """Inverse of :func:`annotation_to_dict`.
+
+    Raises :class:`AnnotationError` on unknown schema versions or kinds, or
+    when the payload fails the constructor's own validation.
+    """
+    schema = data.get("schema")
+    if schema != SCHEMA_VERSION:
+        raise AnnotationError(f"unsupported annotation schema {schema!r}")
+    kind = data.get("kind")
+    try:
+        if kind == "constant":
+            return ConstantImportance(p=float(data["p"]))
+        if kind == "dirac":
+            return DiracImportance()
+        if kind == "fixed":
+            return FixedLifetimeImportance(
+                p=float(data["p"]), expire_after=float(data["expire_after"])
+            )
+        if kind == "two_step":
+            return TwoStepImportance(
+                p=float(data["p"]),
+                t_persist=float(data["t_persist"]),
+                t_wane=float(data["t_wane"]),
+            )
+        if kind == "exp_wane":
+            return ExponentialWaneImportance(
+                p=float(data["p"]),
+                t_persist=float(data["t_persist"]),
+                t_wane=float(data["t_wane"]),
+                sharpness=float(data["sharpness"]),
+            )
+        if kind == "step_wane":
+            return StepWaneImportance(
+                p=float(data["p"]),
+                t_persist=float(data["t_persist"]),
+                t_wane=float(data["t_wane"]),
+                steps=int(data["steps"]),
+            )
+        if kind == "piecewise":
+            return PiecewiseLinearImportance(
+                [(float(a), float(v)) for a, v in data["points"]]
+            )
+        if kind == "scaled":
+            return ScaledImportance(
+                inner=annotation_from_dict(data["inner"]), factor=float(data["factor"])
+            )
+    except KeyError as exc:
+        raise AnnotationError(f"annotation dict missing field {exc} for kind {kind!r}") from exc
+    raise AnnotationError(f"unknown annotation kind {kind!r}")

@@ -1,0 +1,140 @@
+"""Storage importance density (paper Sections 4.4 and 5.1.2).
+
+The *instantaneous storage importance density* scales each stored byte by
+its current importance and normalises by the raw capacity::
+
+    density = sum(importance_i * size_i) / capacity
+
+Expired objects and unallocated storage contribute zero.  The density is a
+number in ``[0, 1]`` and is the feedback signal content creators use to
+choose annotations: at density ``d`` an arrival whose initial importance is
+comfortably above the store's current preemption threshold will be
+admitted, while objects near or below it find the store *full*.
+
+This module also produces the byte-importance snapshot behind Figure 7 (the
+cumulative distribution of importance over stored bytes) and the admission
+threshold probe used by Figures 6/12 commentary.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.core.store import StorageUnit
+
+__all__ = [
+    "importance_density",
+    "byte_importance_snapshot",
+    "importance_histogram",
+    "admission_threshold",
+    "DensitySample",
+]
+
+
+@dataclass(frozen=True)
+class DensitySample:
+    """One periodic probe of a store's density (time-series element)."""
+
+    t: float
+    density: float
+    used_bytes: int
+    capacity_bytes: int
+    resident_count: int
+
+
+def importance_density(store: StorageUnit, now: float) -> float:
+    """Instantaneous storage importance density of ``store`` at ``now``.
+
+    Returns a value in ``[0, 1]``; an empty store has density 0 and a store
+    packed with importance-1 objects approaches 1 (exactly 1 only if no
+    byte is free).
+    """
+    weighted = 0.0
+    for obj in store.iter_residents():
+        importance = obj.importance_at(now)
+        if importance > 0.0:
+            weighted += importance * obj.size
+    return weighted / store.capacity_bytes
+
+
+def byte_importance_snapshot(
+    store: StorageUnit, now: float, *, include_free: bool = True
+) -> list[tuple[float, int]]:
+    """Per-importance byte masses at ``now``, sorted by importance.
+
+    Returns ``[(importance, bytes), ...]`` in increasing importance order.
+    With ``include_free=True`` (the paper's convention for Figure 7) free
+    and expired capacity appears as a mass at importance 0.0 so the CDF is
+    taken over the raw capacity.
+    """
+    masses: dict[float, int] = {}
+    for obj in store.iter_residents():
+        importance = obj.importance_at(now)
+        masses[importance] = masses.get(importance, 0) + obj.size
+    if include_free and store.free_bytes > 0:
+        masses[0.0] = masses.get(0.0, 0) + store.free_bytes
+    return sorted(masses.items())
+
+
+def importance_histogram(
+    store: StorageUnit,
+    now: float,
+    *,
+    bins: Sequence[float] = (0.0, 0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9, 1.0),
+    include_free: bool = False,
+) -> list[tuple[float, float, int]]:
+    """Byte histogram over importance bins.
+
+    ``bins`` are ascending edges; the result lists ``(lo, hi, bytes)`` per
+    half-open bin ``[lo, hi)``, with the final bin closed at 1.0 so that
+    importance-1 bytes are counted.
+    """
+    edges = list(bins)
+    if len(edges) < 2 or any(b >= a for a, b in zip(edges[1:], edges)):
+        raise ValueError(f"bins must be >= 2 ascending edges, got {bins!r}")
+    counts = [0] * (len(edges) - 1)
+    for importance, size in byte_importance_snapshot(store, now, include_free=include_free):
+        idx = bisect_left(edges, importance)
+        # bisect_left returns the first edge >= importance; map importance
+        # falling on an interior edge into the bin it opens.
+        if idx == len(edges):
+            idx -= 1  # importance above the last edge: clamp into last bin
+        if idx > 0 and (idx == len(edges) - 0 or importance < edges[idx]):
+            idx -= 1
+        idx = min(idx, len(counts) - 1)
+        counts[idx] += size
+    return [(edges[i], edges[i + 1], counts[i]) for i in range(len(counts))]
+
+
+def admission_threshold(store: StorageUnit, probe_size: int, now: float) -> float:
+    """Lowest initial importance (to 2 decimals) admissible right now.
+
+    Probes the store's policy with synthetic ``probe_size`` objects of
+    decreasing importance and returns the smallest importance that would be
+    admitted; returns ``inf`` if even importance 1.0 is refused (e.g. the
+    probe exceeds raw capacity).  The *difference* between this threshold
+    and an object's annotated importance is the longevity indication the
+    paper describes in Section 5.1.2.
+    """
+    from repro.core.importance import FixedLifetimeImportance
+    from repro.core.obj import StoredObject
+
+    admissible = float("inf")
+    for step in range(100, -1, -1):
+        importance = step / 100.0
+        probe = StoredObject(
+            size=probe_size,
+            t_arrival=now,
+            lifetime=FixedLifetimeImportance(p=importance, expire_after=1.0)
+            if importance > 0.0
+            else FixedLifetimeImportance(p=0.0, expire_after=0.0),
+            object_id=f"__probe-{step}",
+        )
+        plan = store.peek_admission(probe, now)
+        if plan.admit:
+            admissible = importance
+        else:
+            break
+    return admissible

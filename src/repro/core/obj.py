@@ -1,0 +1,115 @@
+"""Stored objects (paper Section 3).
+
+An object ``O`` is described by the tuple ``(s, t_a, L)`` — size in bytes,
+arrival time in simulation minutes, and a temporal importance function
+``L``.  We additionally carry an opaque id, a creator-class label (used by
+the lecture scenario to distinguish university cameras from student
+uploads) and free-form metadata for experiment bookkeeping.
+
+Objects are immutable: *Besteffs* is write-once with versioned updates, so
+an "update" is a new object (see :mod:`repro.besteffs.versioning`).
+"""
+
+from __future__ import annotations
+
+import itertools
+import math
+from dataclasses import dataclass, field
+from typing import Any, Mapping
+
+from repro.core.importance import ImportanceFunction
+from repro.errors import AnnotationError
+
+__all__ = ["ObjectId", "StoredObject", "reset_object_ids"]
+
+#: Object identifiers are plain strings: deterministic, human-readable and
+#: trivially serialisable.  Generated ids look like ``"obj-000042"``.
+ObjectId = str
+
+_id_counter = itertools.count()
+
+
+def _next_object_id() -> ObjectId:
+    return f"obj-{next(_id_counter):06d}"
+
+
+def reset_object_ids() -> None:
+    """Reset the auto-increment id stream (for reproducible tests/sims)."""
+    global _id_counter
+    _id_counter = itertools.count()
+
+
+@dataclass(frozen=True)
+class StoredObject:
+    """An annotated storage object: ``(size, t_arrival, lifetime)``.
+
+    Parameters
+    ----------
+    size:
+        Object size in bytes; must be a positive integer.
+    t_arrival:
+        Arrival time in simulation minutes (>= 0).
+    lifetime:
+        The temporal importance function :math:`L(t)` attached as a
+        first-class attribute.
+    object_id:
+        Optional explicit id; auto-generated when omitted.
+    creator:
+        Free-form creator-class label (e.g. ``"university"``/``"student"``).
+    metadata:
+        Read-only mapping of experiment bookkeeping (course id, term, ...).
+    """
+
+    size: int
+    t_arrival: float
+    lifetime: ImportanceFunction
+    object_id: ObjectId = field(default="")
+    creator: str = "default"
+    metadata: Mapping[str, Any] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.size, int) or isinstance(self.size, bool):
+            raise AnnotationError(f"object size must be an int (bytes), got {self.size!r}")
+        if self.size <= 0:
+            raise AnnotationError(f"object size must be positive, got {self.size}")
+        t = float(self.t_arrival)
+        if math.isnan(t) or t < 0.0:
+            raise AnnotationError(f"t_arrival must be >= 0, got {self.t_arrival!r}")
+        object.__setattr__(self, "t_arrival", t)
+        if not isinstance(self.lifetime, ImportanceFunction):
+            raise AnnotationError(
+                f"lifetime must be an ImportanceFunction, got {self.lifetime!r}"
+            )
+        if not self.object_id:
+            object.__setattr__(self, "object_id", _next_object_id())
+        # Freeze the metadata view so sharing a dict between objects is safe.
+        object.__setattr__(self, "metadata", dict(self.metadata))
+
+    # -- temporal queries --------------------------------------------------
+
+    def age_at(self, now_minutes: float) -> float:
+        """Age of this object (minutes) at absolute simulation time ``now``."""
+        return max(0.0, float(now_minutes) - self.t_arrival)
+
+    def importance_at(self, now_minutes: float) -> float:
+        """Current importance at absolute simulation time ``now``."""
+        return self.lifetime.importance_at(self.age_at(now_minutes))
+
+    def is_expired_at(self, now_minutes: float) -> bool:
+        """True once the object's entire annotated lifetime has elapsed."""
+        return self.lifetime.is_expired(self.age_at(now_minutes))
+
+    def remaining_lifetime_at(self, now_minutes: float) -> float:
+        """Minutes of annotated lifetime left at absolute time ``now``."""
+        return self.lifetime.remaining_lifetime(self.age_at(now_minutes))
+
+    @property
+    def t_expire_abs(self) -> float:
+        """Absolute simulation time at which the annotation expires."""
+        return self.t_arrival + self.lifetime.t_expire
+
+    def __repr__(self) -> str:  # keep log lines short
+        return (
+            f"StoredObject(id={self.object_id!r}, size={self.size}, "
+            f"t_arrival={self.t_arrival:.0f}, creator={self.creator!r})"
+        )

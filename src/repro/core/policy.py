@@ -1,0 +1,112 @@
+"""Eviction-policy protocol shared by all reclamation strategies.
+
+A policy answers exactly one question: *given the current residents of a
+storage unit, an incoming object, and the current time, which residents (if
+any) must be preempted, and is the store "full" for this object?*  The
+:class:`~repro.core.store.StorageUnit` owns all mutation; policies are pure
+planners, which keeps them trivially testable and lets the Besteffs
+placement layer "peek" at an admission plan without committing it
+(Section 5.3's ``highest importance object preempted`` probe).
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Sequence
+
+from repro.core.obj import StoredObject
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
+    from repro.core.store import StorageUnit
+
+__all__ = ["AdmissionPlan", "EvictionPolicy"]
+
+
+@dataclass(frozen=True)
+class AdmissionPlan:
+    """The outcome of planning admission for one object on one unit.
+
+    Attributes
+    ----------
+    admit:
+        Whether the object can be stored right now.
+    victims:
+        Residents that must be preempted to make room, in eviction order.
+        Empty when the object fits into free space or when rejected.
+    highest_preempted:
+        Current importance of the most important victim (0.0 when no victim
+        is needed).  This is the scalar the distributed placement algorithm
+        minimises across candidate units.
+    blocking_importance:
+        On rejection, the importance level that blocked admission — i.e.
+        the importance the incoming object would have to *exceed*.  ``None``
+        when admitted or when the object simply exceeds raw capacity.
+    reason:
+        Short machine-readable cause: ``"free-space"``, ``"preempt"``,
+        ``"full-for-importance"``, ``"object-too-large"``, ``"expired-only"``
+        (policy-specific strings are allowed).
+    """
+
+    admit: bool
+    victims: tuple[StoredObject, ...] = ()
+    highest_preempted: float = 0.0
+    blocking_importance: float | None = None
+    reason: str = ""
+
+    @property
+    def victim_bytes(self) -> int:
+        """Total bytes reclaimed by this plan."""
+        return sum(victim.size for victim in self.victims)
+
+
+@dataclass
+class EvictionPolicy(ABC):
+    """Strategy interface for planning admissions.
+
+    Subclasses override :meth:`plan_admission`; they must not mutate the
+    store.  A policy instance may be shared between storage units as long as
+    it is stateless (all built-in policies are, except
+    :class:`~repro.core.policies.random_.RandomPolicy`, which carries an
+    RNG and therefore documents that it should not be shared).
+    """
+
+    #: Human-readable policy name used in reports and experiment tables.
+    name: str = field(default="policy", init=False)
+
+    @abstractmethod
+    def plan_admission(
+        self, store: "StorageUnit", obj: StoredObject, now: float
+    ) -> AdmissionPlan:
+        """Plan how (whether) ``obj`` would be admitted at time ``now``."""
+
+    # -- shared helpers ----------------------------------------------------
+
+    @staticmethod
+    def _too_large(store: "StorageUnit", obj: StoredObject) -> AdmissionPlan | None:
+        """Common guard: an object larger than raw capacity never fits."""
+        if obj.size > store.capacity_bytes:
+            return AdmissionPlan(admit=False, reason="object-too-large")
+        return None
+
+    @staticmethod
+    def _fits_free(store: "StorageUnit", obj: StoredObject) -> bool:
+        return obj.size <= store.free_bytes
+
+    @staticmethod
+    def _greedy_victims(
+        ordered: Sequence[StoredObject], needed_bytes: int
+    ) -> tuple[StoredObject, ...]:
+        """Take residents from ``ordered`` until ``needed_bytes`` are freed.
+
+        Returns the (possibly complete) prefix of ``ordered`` whose sizes
+        sum to at least ``needed_bytes``; callers must check sufficiency.
+        """
+        victims: list[StoredObject] = []
+        freed = 0
+        for resident in ordered:
+            if freed >= needed_bytes:
+                break
+            victims.append(resident)
+            freed += resident.size
+        return tuple(victims)

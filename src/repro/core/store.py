@@ -1,0 +1,278 @@
+"""A single storage unit with preemptive admission (paper Section 3).
+
+:class:`StorageUnit` owns the residents, enforces the capacity invariant,
+executes admission plans atomically and emits structured
+:class:`EvictionRecord` / rejection events that the simulation recorder and
+the analysis layer consume.  All temporal reasoning is delegated to the
+objects' importance functions; the unit itself is clock-free and takes
+``now`` on every call, which makes it usable both from the discrete-time
+simulator and directly from library users' code.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Iterable, Iterator
+
+from repro.core.obj import ObjectId, StoredObject
+from repro.core.policy import AdmissionPlan, EvictionPolicy
+from repro.errors import CapacityError, UnknownObjectError
+
+__all__ = ["EvictionRecord", "RejectionRecord", "AdmissionResult", "StorageUnit"]
+
+
+@dataclass(frozen=True)
+class EvictionRecord:
+    """One object leaving a storage unit.
+
+    ``achieved_lifetime`` (minutes the object actually survived) and
+    ``importance_at_eviction`` are the paper's two headline per-object
+    metrics (Figures 3, 9 and 10).
+    """
+
+    obj: StoredObject
+    t_evicted: float
+    importance_at_eviction: float
+    reason: str  # "preempted" | "expired" | "manual"
+    preempted_by: ObjectId | None = None
+    unit: str = ""
+
+    @property
+    def achieved_lifetime(self) -> float:
+        """Minutes between arrival and eviction."""
+        return self.t_evicted - self.obj.t_arrival
+
+    @property
+    def requested_lifetime(self) -> float:
+        """Minutes of lifetime the annotation asked for (``t_expire``)."""
+        return self.obj.lifetime.t_expire
+
+
+@dataclass(frozen=True)
+class RejectionRecord:
+    """One arrival turned away because the store was full for its importance."""
+
+    obj: StoredObject
+    t_rejected: float
+    blocking_importance: float | None
+    reason: str
+    unit: str = ""
+
+
+@dataclass(frozen=True)
+class AdmissionResult:
+    """Outcome of :meth:`StorageUnit.offer`."""
+
+    admitted: bool
+    plan: AdmissionPlan
+    evictions: tuple[EvictionRecord, ...] = ()
+    rejection: RejectionRecord | None = None
+
+
+class StorageUnit:
+    """Fixed-capacity object store governed by an :class:`EvictionPolicy`.
+
+    Parameters
+    ----------
+    capacity_bytes:
+        Raw capacity of the unit (positive int).
+    policy:
+        The admission/eviction planner; see :mod:`repro.core.policies`.
+    name:
+        Identifier used in records and reports (e.g. ``"desktop-0421"``).
+    keep_history:
+        When True (default) every eviction and rejection record is retained
+        in :attr:`evictions` / :attr:`rejections`.  Long multi-year
+        simulations with external recorders can disable retention and rely
+        on the ``on_eviction`` / ``on_rejection`` callbacks instead.
+    """
+
+    def __init__(
+        self,
+        capacity_bytes: int,
+        policy: EvictionPolicy,
+        *,
+        name: str = "unit-0",
+        keep_history: bool = True,
+    ) -> None:
+        if not isinstance(capacity_bytes, int) or capacity_bytes <= 0:
+            raise CapacityError(f"capacity must be a positive int, got {capacity_bytes!r}")
+        self.capacity_bytes = capacity_bytes
+        self.policy = policy
+        self.name = name
+        self.keep_history = keep_history
+
+        self._residents: dict[ObjectId, StoredObject] = {}
+        self._used_bytes = 0
+        #: Last access time per resident, for recency-based baselines.
+        self._last_access: dict[ObjectId, float] = {}
+
+        #: Retained event history (see ``keep_history``).
+        self.evictions: list[EvictionRecord] = []
+        self.rejections: list[RejectionRecord] = []
+
+        #: Monotonic counters, always maintained regardless of history mode.
+        self.accepted_count = 0
+        self.rejected_count = 0
+        self.evicted_count = 0
+        self.bytes_accepted = 0
+        self.bytes_evicted = 0
+        self.bytes_rejected = 0
+
+        #: Optional observers invoked synchronously on each event.
+        self.on_eviction: Callable[[EvictionRecord], None] | None = None
+        self.on_rejection: Callable[[RejectionRecord], None] | None = None
+
+    # -- introspection -----------------------------------------------------
+
+    @property
+    def used_bytes(self) -> int:
+        """Bytes currently occupied by residents."""
+        return self._used_bytes
+
+    @property
+    def free_bytes(self) -> int:
+        """Unallocated bytes."""
+        return self.capacity_bytes - self._used_bytes
+
+    @property
+    def resident_count(self) -> int:
+        """Number of stored objects."""
+        return len(self._residents)
+
+    def __len__(self) -> int:
+        return len(self._residents)
+
+    def __contains__(self, object_id: ObjectId) -> bool:
+        return object_id in self._residents
+
+    def get(self, object_id: ObjectId) -> StoredObject:
+        """Return a resident by id; raises :class:`UnknownObjectError`."""
+        try:
+            return self._residents[object_id]
+        except KeyError:
+            raise UnknownObjectError(f"{object_id!r} not stored on {self.name}") from None
+
+    def iter_residents(self) -> Iterator[StoredObject]:
+        """Iterate over current residents in insertion order."""
+        return iter(tuple(self._residents.values()))
+
+    def last_access(self, object_id: ObjectId) -> float:
+        """Last touch/insert time of a resident (for recency baselines)."""
+        self.get(object_id)  # raise on unknown ids
+        return self._last_access[object_id]
+
+    def utilization(self) -> float:
+        """Fraction of raw capacity occupied, in ``[0, 1]``."""
+        return self._used_bytes / self.capacity_bytes
+
+    # -- mutation ----------------------------------------------------------
+
+    def offer(self, obj: StoredObject, now: float) -> AdmissionResult:
+        """Offer an object for storage at time ``now``.
+
+        Applies the policy's admission plan atomically: either the object is
+        stored (after evicting exactly the planned victims) or nothing
+        changes and a rejection is recorded.  Victims are only ever removed
+        on successful admission — rejected arrivals have no side effects.
+        """
+        if obj.object_id in self._residents:
+            raise CapacityError(f"{obj.object_id!r} is already stored on {self.name}")
+        plan = self.policy.plan_admission(self, obj, now)
+        if not plan.admit:
+            rejection = RejectionRecord(
+                obj=obj,
+                t_rejected=now,
+                blocking_importance=plan.blocking_importance,
+                reason=plan.reason,
+                unit=self.name,
+            )
+            self.rejected_count += 1
+            self.bytes_rejected += obj.size
+            if self.keep_history:
+                self.rejections.append(rejection)
+            if self.on_rejection is not None:
+                self.on_rejection(rejection)
+            return AdmissionResult(admitted=False, plan=plan, rejection=rejection)
+
+        evictions = tuple(
+            self._evict(victim, now, reason="preempted", preempted_by=obj.object_id)
+            for victim in plan.victims
+        )
+        if obj.size > self.free_bytes:
+            raise CapacityError(
+                f"policy {self.policy.name!r} produced an infeasible plan on {self.name}: "
+                f"{obj.size} bytes needed, {self.free_bytes} free after evictions"
+            )
+        self._residents[obj.object_id] = obj
+        self._used_bytes += obj.size
+        self._last_access[obj.object_id] = now
+        self.accepted_count += 1
+        self.bytes_accepted += obj.size
+        return AdmissionResult(admitted=True, plan=plan, evictions=evictions)
+
+    def peek_admission(self, obj: StoredObject, now: float) -> AdmissionPlan:
+        """Plan admission without mutating the store.
+
+        This is the probe the Besteffs placement algorithm runs against
+        each sampled unit to learn the *highest importance object that will
+        be preempted* (Section 5.3).
+        """
+        return self.policy.plan_admission(self, obj, now)
+
+    def touch(self, object_id: ObjectId, now: float) -> StoredObject:
+        """Record an access to a resident (feeds recency baselines)."""
+        obj = self.get(object_id)
+        self._last_access[object_id] = now
+        return obj
+
+    def remove(self, object_id: ObjectId, now: float, *, reason: str = "manual") -> EvictionRecord:
+        """Explicitly remove a resident (application-driven delete)."""
+        victim = self.get(object_id)
+        return self._evict(victim, now, reason=reason, preempted_by=None)
+
+    def reclaim_expired(self, now: float) -> tuple[EvictionRecord, ...]:
+        """Eagerly drop residents whose annotation has fully expired.
+
+        The paper does *not* require this — expired objects may squat until
+        preempted — but delete-optimised deployments (Douglis et al.) sweep
+        eagerly, and experiments use this to measure squatting.
+        """
+        expired = [o for o in self._residents.values() if o.is_expired_at(now)]
+        return tuple(self._evict(o, now, reason="expired", preempted_by=None) for o in expired)
+
+    def _evict(
+        self,
+        victim: StoredObject,
+        now: float,
+        *,
+        reason: str,
+        preempted_by: ObjectId | None,
+    ) -> EvictionRecord:
+        if victim.object_id not in self._residents:
+            raise UnknownObjectError(f"{victim.object_id!r} not stored on {self.name}")
+        del self._residents[victim.object_id]
+        self._last_access.pop(victim.object_id, None)
+        self._used_bytes -= victim.size
+        record = EvictionRecord(
+            obj=victim,
+            t_evicted=now,
+            importance_at_eviction=victim.importance_at(now),
+            reason=reason,
+            preempted_by=preempted_by,
+            unit=self.name,
+        )
+        self.evicted_count += 1
+        self.bytes_evicted += victim.size
+        if self.keep_history:
+            self.evictions.append(record)
+        if self.on_eviction is not None:
+            self.on_eviction(record)
+        return record
+
+    def __repr__(self) -> str:
+        return (
+            f"StorageUnit(name={self.name!r}, policy={self.policy.name!r}, "
+            f"used={self._used_bytes}/{self.capacity_bytes} bytes, "
+            f"residents={len(self._residents)})"
+        )

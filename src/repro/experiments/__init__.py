@@ -1,0 +1,45 @@
+"""Experiment drivers — one module per paper table/figure.
+
+Every driver exposes a ``run(...)`` function returning a result dataclass
+plus a ``render(result)`` producing the printed reproduction (tables and
+ASCII charts).  The benchmark suite calls ``run`` under pytest-benchmark;
+the CLI (``python -m repro``) dispatches to the same drivers.
+
+========================  =====================================================
+``fig2_storage_requirements``  cumulative offered bytes over a year
+``fig3_lifetimes``             lifetime achieved vs eviction day, 3 policies
+``fig4_rejections``            requests turned down under full storage
+``fig5_timeconstant``          Palimpsest time constant at 3 window sizes
+``fig6_density``               instantaneous storage importance density
+``fig7_cdf``                   byte-importance CDF at density ≈ 0.8369
+``fig8_downloads``             lecture downloads per day (synthetic trace)
+``table1_parameters``          Table 1 lifetime parameters per term
+``fig9_lecture_lifetimes``     lecture-capture lifetimes achieved
+``fig10_reclamation_importance``  importance at reclamation, 80 vs 120 GB
+``fig11_lecture_timeconstant`` time constant, lecture scenario
+``fig12_lecture_density``      density, lecture scenario
+``sec53_university``           university-wide Besteffs summary
+========================  =====================================================
+"""
+
+from repro.experiments.common import (
+    POLICY_NO_IMPORTANCE,
+    POLICY_PALIMPSEST,
+    POLICY_TEMPORAL,
+    SingleAppSetup,
+    LectureSetup,
+    build_single_app_scenario,
+    run_lecture_scenario,
+    run_single_app_scenario,
+)
+
+__all__ = [
+    "LectureSetup",
+    "POLICY_NO_IMPORTANCE",
+    "POLICY_PALIMPSEST",
+    "POLICY_TEMPORAL",
+    "SingleAppSetup",
+    "build_single_app_scenario",
+    "run_lecture_scenario",
+    "run_single_app_scenario",
+]

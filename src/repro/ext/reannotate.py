@@ -1,0 +1,63 @@
+"""Active intervention: re-annotating a stored object.
+
+Temporal importance functions are monotone non-increasing, so importance
+can only *rise* through an explicit user/application action (Section 3:
+"we ... require an active intervention by the user to increase an existing
+importance in the future").  Re-annotation models that action: the object
+is atomically replaced by an identical object carrying a fresh annotation
+whose clock starts *now*.
+
+The swap preserves the object id and bytes.  Because the old resident is
+removed before the replacement is offered, the replacement may still be
+rejected under pressure when the new annotation's current importance is
+too low for the store — in which case the removal is rolled back and the
+original object (and annotation) is kept, so a failed intervention never
+loses data.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+from repro.core.importance import ImportanceFunction
+from repro.core.obj import ObjectId, StoredObject
+from repro.core.store import StorageUnit
+from repro.errors import CapacityError
+
+__all__ = ["reannotate"]
+
+
+def reannotate(
+    store: StorageUnit,
+    object_id: ObjectId,
+    new_lifetime: ImportanceFunction,
+    now: float,
+) -> StoredObject:
+    """Replace a resident's annotation; returns the new resident.
+
+    The replacement's ``t_arrival`` is ``now``: the new lifetime is
+    interpreted from the moment of intervention, which is what lets an
+    application "fully rejuvenate" an object (the paper's example of a
+    conditional rejuvenation that static functions cannot express).
+
+    Raises :class:`~repro.errors.UnknownObjectError` for unknown ids and
+    :class:`~repro.errors.CapacityError` when the store refuses the
+    re-annotated object (the original is restored first).
+    """
+    original = store.get(object_id)
+    store.remove(object_id, now, reason="reannotate")
+    replacement = replace(original, t_arrival=now, lifetime=new_lifetime)
+    result = store.offer(replacement, now)
+    if result.admitted:
+        return replacement
+    # Roll back: the original must fit — its bytes were just freed, and
+    # rejected offers have no side effects.
+    rollback = store.offer(original, now)
+    if not rollback.admitted:  # pragma: no cover - structurally impossible
+        raise CapacityError(
+            f"failed to restore {object_id!r} after a refused re-annotation"
+        )
+    raise CapacityError(
+        f"store {store.name!r} refused re-annotation of {object_id!r} "
+        f"(reason: {result.plan.reason}); original annotation kept"
+    )

@@ -1,0 +1,116 @@
+"""Security-decay scenario (Section 6).
+
+"Peer-to-peer storage systems maintain confidentiality and integrity using
+encryption and digital signatures.  The importance of data corresponds to
+the guarantees that can be made about its confidentiality and integrity.
+Under storage pressure, a security-sensitive system could evict the most
+compromised objects."
+
+The model: confidence in an object's integrity decays with time since its
+last verification (the longer since a signature was checked, the more
+exposure to tampering/bit-rot).  Importance therefore *is* the confidence:
+freshly verified objects are near-unpreemptible and stale ones go first
+under pressure.  Re-verification is an active intervention that restores
+full confidence via :func:`~repro.ext.reannotate.reannotate`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.importance import ImportanceFunction, TwoStepImportance
+from repro.core.obj import ObjectId, StoredObject
+from repro.core.policies.temporal import TemporalImportancePolicy
+from repro.core.store import StorageUnit
+from repro.errors import UnknownObjectError
+from repro.ext.reannotate import reannotate
+from repro.units import days
+
+__all__ = ["verification_lifetime", "SecurityDecayStore"]
+
+
+def verification_lifetime(
+    *, trust_days: float = 7.0, decay_days: float = 30.0
+) -> TwoStepImportance:
+    """Confidence curve after a verification.
+
+    Full confidence for ``trust_days`` (the window in which tampering is
+    considered implausible), then a linear decay to zero over
+    ``decay_days`` — after which the object's integrity can no longer be
+    vouched for and it is freely evictable.
+    """
+    return TwoStepImportance(p=1.0, t_persist=days(trust_days), t_wane=days(decay_days))
+
+
+@dataclass
+class SecurityDecayStore:
+    """A store whose importance is integrity confidence.
+
+    Wraps an ordinary temporal-importance :class:`StorageUnit`; verify
+    events re-annotate objects back to full confidence.
+    """
+
+    store: StorageUnit
+    lifetime: ImportanceFunction = field(default_factory=verification_lifetime)
+    #: Last verification time per object (arrival counts as verification).
+    last_verified: dict[ObjectId, float] = field(default_factory=dict)
+
+    @classmethod
+    def with_capacity(cls, capacity_bytes: int, **kwargs) -> "SecurityDecayStore":
+        """Convenience constructor building the backing store too."""
+        store = StorageUnit(
+            capacity_bytes, TemporalImportancePolicy(), name="secure-store"
+        )
+        return cls(store=store, **kwargs)
+
+    def put(self, obj_size: int, now: float, *, object_id: str = "") -> ObjectId | None:
+        """Store new (signed, freshly verified) content; None if refused."""
+        obj = StoredObject(
+            size=obj_size,
+            t_arrival=now,
+            lifetime=self.lifetime,
+            object_id=object_id,
+            creator="secure",
+        )
+        result = self.store.offer(obj, now)
+        if not result.admitted:
+            return None
+        self.last_verified[obj.object_id] = now
+        self._prune()
+        return obj.object_id
+
+    def verify(self, object_id: ObjectId, now: float) -> float:
+        """Re-check an object's signature; restores full confidence.
+
+        Returns the confidence the object had *before* this verification
+        (how close it came to eviction).
+        """
+        self._prune()
+        if object_id not in self.store:
+            raise UnknownObjectError(f"{object_id!r} not resident (already evicted?)")
+        before = self.store.get(object_id).importance_at(now)
+        reannotate(self.store, object_id, self.lifetime, now)
+        self.last_verified[object_id] = now
+        return before
+
+    def confidence(self, object_id: ObjectId, now: float) -> float:
+        """Current integrity confidence of a resident object."""
+        self._prune()
+        if object_id not in self.store:
+            raise UnknownObjectError(f"{object_id!r} not resident (already evicted?)")
+        return self.store.get(object_id).importance_at(now)
+
+    def most_compromised(self, now: float, *, limit: int = 5) -> list[tuple[ObjectId, float]]:
+        """Residents with the lowest confidence (next eviction victims)."""
+        self._prune()
+        scored = [
+            (obj.object_id, obj.importance_at(now))
+            for obj in self.store.iter_residents()
+        ]
+        scored.sort(key=lambda pair: (pair[1], pair[0]))
+        return scored[:limit]
+
+    def _prune(self) -> None:
+        gone = [oid for oid in self.last_verified if oid not in self.store]
+        for oid in gone:
+            del self.last_verified[oid]

@@ -1,0 +1,168 @@
+"""Sensor-store scenario (Section 6).
+
+"Storage in sensor scenarios might treat unprocessed data as important but
+retain processed data to accommodate for communications failure in
+propagating the results.  These scenarios might require the ability to
+dynamically change the importance values based on triggers such as the
+receipt of an acknowledgment."
+
+A reading moves through three stages, each with its own annotation:
+
+========== ============================================================
+RAW        just sampled: importance 1.0 until processed (constant — the
+           node must not lose data it has not yet reduced).
+PROCESSED  results computed but not yet acknowledged by the sink: high
+           importance with a wane, so an extended uplink outage degrades
+           gracefully instead of wedging the store.
+ACKED      sink confirmed receipt: the local copy is expendable cache
+           (short fixed lifetime at low importance).
+========== ============================================================
+
+Stage changes are active interventions via
+:func:`~repro.ext.reannotate.reannotate`.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+from repro.core.importance import (
+    ConstantImportance,
+    FixedLifetimeImportance,
+    ImportanceFunction,
+    TwoStepImportance,
+)
+from repro.core.obj import ObjectId, StoredObject
+from repro.core.policies.temporal import TemporalImportancePolicy
+from repro.core.store import StorageUnit
+from repro.errors import CapacityError, UnknownObjectError
+from repro.ext.reannotate import reannotate
+from repro.units import days, hours
+
+__all__ = ["SensorStage", "SensorReading", "SensorPipeline"]
+
+
+class SensorStage(enum.Enum):
+    """Lifecycle stage of a sensor reading on the node."""
+
+    RAW = "raw"
+    PROCESSED = "processed"
+    ACKED = "acked"
+
+
+#: Default per-stage annotations; a deployment overrides via the pipeline.
+DEFAULT_STAGE_LIFETIMES: dict[SensorStage, ImportanceFunction] = {
+    SensorStage.RAW: ConstantImportance(p=1.0),
+    SensorStage.PROCESSED: TwoStepImportance(p=0.8, t_persist=days(2), t_wane=days(5)),
+    SensorStage.ACKED: FixedLifetimeImportance(p=0.1, expire_after=hours(6)),
+}
+
+
+@dataclass(frozen=True)
+class SensorReading:
+    """Bookkeeping for one reading stored on the node."""
+
+    object_id: ObjectId
+    stage: SensorStage
+    t_sampled: float
+
+
+@dataclass
+class SensorPipeline:
+    """Drives readings through RAW → PROCESSED → ACKED on one store.
+
+    The store runs the ordinary temporal-importance policy; the pipeline
+    only manipulates annotations, demonstrating that the Section 6 sensor
+    behaviour needs no new storage mechanism.
+    """
+
+    store: StorageUnit
+    stage_lifetimes: dict[SensorStage, ImportanceFunction] = field(
+        default_factory=lambda: dict(DEFAULT_STAGE_LIFETIMES)
+    )
+    readings: dict[ObjectId, SensorReading] = field(default_factory=dict)
+
+    @classmethod
+    def with_capacity(cls, capacity_bytes: int, **kwargs) -> "SensorPipeline":
+        """Convenience constructor building the backing store too."""
+        store = StorageUnit(
+            capacity_bytes, TemporalImportancePolicy(), name="sensor-node"
+        )
+        return cls(store=store, **kwargs)
+
+    def sample(self, size: int, now: float, *, object_id: str = "") -> SensorReading | None:
+        """Store a fresh RAW reading; returns None if the node is full.
+
+        A rejected sample is the paper's designed behaviour under
+        pressure: RAW data at importance 1.0 can only displace waned or
+        acknowledged data, never other RAW readings.
+        """
+        obj = StoredObject(
+            size=size,
+            t_arrival=now,
+            lifetime=self.stage_lifetimes[SensorStage.RAW],
+            object_id=object_id,
+            creator="sensor",
+        )
+        result = self.store.offer(obj, now)
+        if not result.admitted:
+            return None
+        reading = SensorReading(
+            object_id=obj.object_id, stage=SensorStage.RAW, t_sampled=now
+        )
+        self.readings[obj.object_id] = reading
+        self._prune(now)
+        return reading
+
+    def mark_processed(self, object_id: ObjectId, now: float) -> SensorReading:
+        """RAW → PROCESSED: results computed, awaiting acknowledgment."""
+        return self._transition(object_id, SensorStage.RAW, SensorStage.PROCESSED, now)
+
+    def acknowledge(self, object_id: ObjectId, now: float) -> SensorReading:
+        """PROCESSED → ACKED: the sink confirmed receipt of the results."""
+        return self._transition(
+            object_id, SensorStage.PROCESSED, SensorStage.ACKED, now
+        )
+
+    def stage_of(self, object_id: ObjectId) -> SensorStage:
+        """Current stage of a reading still tracked by the pipeline."""
+        reading = self.readings.get(object_id)
+        if reading is None:
+            raise UnknownObjectError(f"reading {object_id!r} unknown (evicted?)")
+        return reading.stage
+
+    def surviving(self, stage: SensorStage | None = None) -> list[SensorReading]:
+        """Readings whose bytes still reside on the store."""
+        self._prune(None)
+        out = [r for r in self.readings.values() if r.object_id in self.store]
+        if stage is not None:
+            out = [r for r in out if r.stage == stage]
+        return out
+
+    def _transition(
+        self,
+        object_id: ObjectId,
+        expected: SensorStage,
+        target: SensorStage,
+        now: float,
+    ) -> SensorReading:
+        reading = self.readings.get(object_id)
+        if reading is None or object_id not in self.store:
+            raise UnknownObjectError(f"reading {object_id!r} unknown or already evicted")
+        if reading.stage != expected:
+            raise CapacityError(
+                f"reading {object_id!r} is {reading.stage.value}, expected {expected.value}"
+            )
+        reannotate(self.store, object_id, self.stage_lifetimes[target], now)
+        updated = SensorReading(
+            object_id=object_id, stage=target, t_sampled=reading.t_sampled
+        )
+        self.readings[object_id] = updated
+        return updated
+
+    def _prune(self, _now: float | None) -> None:
+        """Drop bookkeeping for readings the store has evicted."""
+        gone = [oid for oid in self.readings if oid not in self.store]
+        for oid in gone:
+            del self.readings[oid]

@@ -1,0 +1,111 @@
+"""ASCII line charts for figure reproduction in a terminal.
+
+The charts are intentionally simple: a fixed-size character grid, one mark
+per series, linear axes, min/max labels.  They are meant to let a reader
+verify the *shape* of a published figure (plateau, crossover, divergence)
+straight from test/bench output; CSV export exists for precise plotting.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Mapping, Sequence
+
+__all__ = ["ascii_plot", "ascii_cdf", "sparkline"]
+
+Series = Sequence[tuple[float, float]]
+
+_MARKS = "*o+x#@%&"
+_TICKS = " ▁▂▃▄▅▆▇█"
+
+
+def ascii_plot(
+    series: Mapping[str, Series],
+    *,
+    width: int = 72,
+    height: int = 16,
+    title: str = "",
+    x_label: str = "",
+    y_label: str = "",
+) -> str:
+    """Render one or more ``(x, y)`` series on a shared character grid.
+
+    Each series gets the next mark from ``*o+x...``; a legend maps marks to
+    series names.  Empty series are listed in the legend but plot nothing.
+    """
+    if width < 16 or height < 4:
+        raise ValueError("chart must be at least 16x4 characters")
+    points = [(x, y) for s in series.values() for x, y in s]
+    lines: list[str] = []
+    if title:
+        lines.append(title)
+    if not points:
+        lines.append("(no data)")
+        return "\n".join(lines)
+
+    xs = [p[0] for p in points]
+    ys = [p[1] for p in points]
+    x_lo, x_hi = min(xs), max(xs)
+    y_lo, y_hi = min(ys), max(ys)
+    if math.isclose(x_lo, x_hi):
+        x_hi = x_lo + 1.0
+    if math.isclose(y_lo, y_hi):
+        y_hi = y_lo + 1.0
+
+    grid = [[" "] * width for _ in range(height)]
+    for idx, (name, data) in enumerate(series.items()):
+        mark = _MARKS[idx % len(_MARKS)]
+        for x, y in data:
+            col = int((x - x_lo) / (x_hi - x_lo) * (width - 1))
+            row = int((y - y_lo) / (y_hi - y_lo) * (height - 1))
+            grid[height - 1 - row][col] = mark
+
+    y_hi_label = f"{y_hi:.4g}"
+    y_lo_label = f"{y_lo:.4g}"
+    margin = max(len(y_hi_label), len(y_lo_label)) + 1
+    for i, row_chars in enumerate(grid):
+        if i == 0:
+            prefix = y_hi_label.rjust(margin)
+        elif i == height - 1:
+            prefix = y_lo_label.rjust(margin)
+        else:
+            prefix = " " * margin
+        lines.append(f"{prefix}|{''.join(row_chars)}")
+    lines.append(" " * margin + "+" + "-" * width)
+    x_axis = f"{x_lo:.4g}".ljust(width // 2) + f"{x_hi:.4g}".rjust(width - width // 2)
+    lines.append(" " * (margin + 1) + x_axis)
+    if x_label or y_label:
+        lines.append(" " * (margin + 1) + f"x: {x_label}   y: {y_label}".rstrip())
+    legend = "   ".join(
+        f"{_MARKS[i % len(_MARKS)]} {name}" for i, name in enumerate(series)
+    )
+    lines.append(" " * (margin + 1) + legend)
+    return "\n".join(lines)
+
+
+def ascii_cdf(
+    cdf_points: Series, *, width: int = 72, height: int = 12, title: str = ""
+) -> str:
+    """Render a CDF as a step-style ASCII chart (x in [0,1], y in [0,1])."""
+    return ascii_plot(
+        {"cdf": cdf_points},
+        width=width,
+        height=height,
+        title=title,
+        x_label="importance",
+        y_label="cumulative byte fraction",
+    )
+
+
+def sparkline(values: Sequence[float]) -> str:
+    """One-line block-character sparkline of a numeric series."""
+    if not values:
+        return ""
+    lo, hi = min(values), max(values)
+    if math.isclose(lo, hi):
+        return _TICKS[4] * len(values)
+    out = []
+    for v in values:
+        idx = int((v - lo) / (hi - lo) * (len(_TICKS) - 1))
+        out.append(_TICKS[idx])
+    return "".join(out)

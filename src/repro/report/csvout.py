@@ -1,0 +1,33 @@
+"""CSV emission for experiment series."""
+
+from __future__ import annotations
+
+import csv
+from pathlib import Path
+from typing import Any, Iterable, Sequence
+
+__all__ = ["write_csv"]
+
+
+def write_csv(
+    path: str | Path,
+    headers: Sequence[str],
+    rows: Iterable[Sequence[Any]],
+) -> Path:
+    """Write rows to ``path`` with a header line; returns the path.
+
+    Parent directories are created as needed.  Cell values are written via
+    ``str`` so floats keep full precision.
+    """
+    out = Path(path)
+    out.parent.mkdir(parents=True, exist_ok=True)
+    with out.open("w", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(list(headers))
+        for row in rows:
+            if len(row) != len(headers):
+                raise ValueError(
+                    f"row has {len(row)} cells but header has {len(headers)}"
+                )
+            writer.writerow(list(row))
+    return out

@@ -1,0 +1,31 @@
+"""Discrete-time simulation substrate (paper Section 4.3).
+
+The paper analyses system behaviour "over a large time frame (five and ten
+years ...) on a minute granularity".  This package provides:
+
+* :mod:`repro.sim.clock` / :mod:`repro.sim.events` /
+  :mod:`repro.sim.engine` — a deterministic event-driven simulator whose
+  native tick is one minute.
+* :mod:`repro.sim.recorder` — metric collection (arrivals, evictions,
+  rejections, density time-series).
+* :mod:`repro.sim.probes` — periodic measurement hooks.
+* :mod:`repro.sim.runner` — scenario orchestration helpers.
+* :mod:`repro.sim.workload` — the paper's three workload families plus the
+  Figure 8 popularity-trace synthesiser.
+"""
+
+from repro.sim.clock import SimClock
+from repro.sim.engine import SimulationEngine
+from repro.sim.events import Event
+from repro.sim.recorder import ArrivalRecord, Recorder
+from repro.sim.runner import ScenarioResult, run_single_store
+
+__all__ = [
+    "ArrivalRecord",
+    "Event",
+    "Recorder",
+    "ScenarioResult",
+    "SimClock",
+    "SimulationEngine",
+    "run_single_store",
+]

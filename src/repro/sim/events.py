@@ -1,0 +1,44 @@
+"""Events for the discrete-time engine.
+
+An :class:`Event` pairs a firing time with a callback.  Ordering is by
+``(time, priority, seq)``: ties at the same minute dispatch lower-priority
+numbers first and otherwise preserve scheduling order, which keeps
+simulations bit-for-bit reproducible.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Callable
+
+from repro.errors import SimulationError
+
+__all__ = ["Event", "EventCallback", "PRIORITY_ARRIVAL", "PRIORITY_PROBE"]
+
+#: Callback signature: receives the event's firing time in minutes.
+EventCallback = Callable[[float], None]
+
+#: Arrivals dispatch before probes scheduled at the same minute so that a
+#: probe at time T observes the store *after* time-T arrivals — matching a
+#: measurement taken "at the end of" the minute.
+PRIORITY_ARRIVAL = 0
+PRIORITY_PROBE = 10
+
+
+@dataclass(frozen=True)
+class Event:
+    """A scheduled callback."""
+
+    time: float
+    callback: EventCallback = field(compare=False)
+    priority: int = PRIORITY_ARRIVAL
+    label: str = ""
+
+    def __post_init__(self) -> None:
+        t = float(self.time)
+        if math.isnan(t) or t < 0.0:
+            raise SimulationError(f"event time must be >= 0, got {self.time!r}")
+        object.__setattr__(self, "time", t)
+        if not callable(self.callback):
+            raise SimulationError(f"event callback must be callable, got {self.callback!r}")

@@ -1,0 +1,139 @@
+"""Persisting and reloading recorder streams.
+
+Multi-year simulations are cheap but not free; persisting a run's event
+streams lets the analysis layer (time constants, prediction quality,
+lifetime statistics) be re-run and extended without re-simulating.  The
+format is one JSON object per line (JSONL) per stream, with annotations
+serialised through the :mod:`repro.core.annotations` wire format, so
+traces are diffable, greppable and stable across library versions.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from repro.core.annotations import annotation_from_dict, annotation_to_dict
+from repro.core.density import DensitySample
+from repro.core.obj import StoredObject
+from repro.core.store import EvictionRecord, RejectionRecord
+from repro.errors import ReproError
+from repro.sim.recorder import ArrivalRecord, Recorder
+
+__all__ = ["save_trace", "load_trace"]
+
+_FORMAT_VERSION = 1
+
+
+def _obj_to_dict(obj: StoredObject) -> dict:
+    return {
+        "object_id": obj.object_id,
+        "size": obj.size,
+        "t_arrival": obj.t_arrival,
+        "creator": obj.creator,
+        "lifetime": annotation_to_dict(obj.lifetime),
+        "metadata": dict(obj.metadata),
+    }
+
+
+def _obj_from_dict(data: dict) -> StoredObject:
+    return StoredObject(
+        size=int(data["size"]),
+        t_arrival=float(data["t_arrival"]),
+        lifetime=annotation_from_dict(data["lifetime"]),
+        object_id=data["object_id"],
+        creator=data.get("creator", "default"),
+        metadata=data.get("metadata", {}),
+    )
+
+
+def save_trace(recorder: Recorder, path: str | Path) -> Path:
+    """Write a recorder's streams to a JSONL trace file."""
+    out = Path(path)
+    out.parent.mkdir(parents=True, exist_ok=True)
+    with out.open("w") as handle:
+        handle.write(json.dumps({"kind": "header", "version": _FORMAT_VERSION}) + "\n")
+        for a in recorder.arrivals:
+            handle.write(json.dumps({
+                "kind": "arrival", "t": a.t, "size": a.size,
+                "admitted": a.admitted, "creator": a.creator,
+                "object_id": a.object_id, "unit": a.unit,
+            }) + "\n")
+        for e in recorder.evictions:
+            handle.write(json.dumps({
+                "kind": "eviction", "t_evicted": e.t_evicted,
+                "importance_at_eviction": e.importance_at_eviction,
+                "reason": e.reason, "preempted_by": e.preempted_by,
+                "unit": e.unit, "obj": _obj_to_dict(e.obj),
+            }) + "\n")
+        for r in recorder.rejections:
+            handle.write(json.dumps({
+                "kind": "rejection", "t_rejected": r.t_rejected,
+                "blocking_importance": r.blocking_importance,
+                "reason": r.reason, "unit": r.unit, "obj": _obj_to_dict(r.obj),
+            }) + "\n")
+        for s in recorder.density_samples:
+            handle.write(json.dumps({
+                "kind": "density", "t": s.t, "density": s.density,
+                "used_bytes": s.used_bytes, "capacity_bytes": s.capacity_bytes,
+                "resident_count": s.resident_count,
+            }) + "\n")
+    return out
+
+
+def load_trace(path: str | Path) -> Recorder:
+    """Rebuild a recorder from a JSONL trace file.
+
+    Raises :class:`ReproError` on missing/invalid headers or unknown
+    record kinds, so silent format drift cannot corrupt analyses.
+    """
+    source = Path(path)
+    recorder = Recorder()
+    with source.open() as handle:
+        first = handle.readline()
+        if not first:
+            raise ReproError(f"trace {source} is empty")
+        header = json.loads(first)
+        if header.get("kind") != "header" or header.get("version") != _FORMAT_VERSION:
+            raise ReproError(f"trace {source} has an unsupported header: {header!r}")
+        for line_no, line in enumerate(handle, start=2):
+            line = line.strip()
+            if not line:
+                continue
+            record = json.loads(line)
+            kind = record.get("kind")
+            if kind == "arrival":
+                recorder.arrivals.append(ArrivalRecord(
+                    t=record["t"], size=record["size"],
+                    admitted=record["admitted"], creator=record["creator"],
+                    object_id=record["object_id"], unit=record.get("unit", ""),
+                ))
+            elif kind == "eviction":
+                recorder.evictions.append(EvictionRecord(
+                    obj=_obj_from_dict(record["obj"]),
+                    t_evicted=record["t_evicted"],
+                    importance_at_eviction=record["importance_at_eviction"],
+                    reason=record["reason"],
+                    preempted_by=record.get("preempted_by"),
+                    unit=record.get("unit", ""),
+                ))
+            elif kind == "rejection":
+                recorder.rejections.append(RejectionRecord(
+                    obj=_obj_from_dict(record["obj"]),
+                    t_rejected=record["t_rejected"],
+                    blocking_importance=record.get("blocking_importance"),
+                    reason=record["reason"],
+                    unit=record.get("unit", ""),
+                ))
+            elif kind == "density":
+                recorder.density_samples.append(DensitySample(
+                    t=record["t"], density=record["density"],
+                    used_bytes=record["used_bytes"],
+                    capacity_bytes=record["capacity_bytes"],
+                    resident_count=record["resident_count"],
+                ))
+            else:
+                raise ReproError(
+                    f"trace {source}:{line_no} has unknown record kind {kind!r}"
+                )
+    return recorder

@@ -1,0 +1,41 @@
+"""Merge multiple arrival streams in time order.
+
+Scenarios that mix content classes (e.g. lecture captures plus a cache-like
+background application) produce several independent generators;
+:func:`merge_streams` interleaves them into the single non-decreasing
+stream the runner expects, using a k-way heap merge so the inputs stay
+lazy.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from typing import Iterable, Iterator
+
+from repro.core.obj import StoredObject
+
+__all__ = ["merge_streams"]
+
+
+def merge_streams(
+    streams: Iterable[Iterator[StoredObject]],
+) -> Iterator[StoredObject]:
+    """Yield objects from all streams in non-decreasing ``t_arrival`` order.
+
+    Ties are broken by stream index then by within-stream order, so merges
+    are deterministic.
+    """
+    heap: list[tuple[float, int, int, StoredObject, Iterator[StoredObject]]] = []
+    seq = itertools.count()
+    for idx, stream in enumerate(streams):
+        iterator = iter(stream)
+        first = next(iterator, None)
+        if first is not None:
+            heapq.heappush(heap, (first.t_arrival, idx, next(seq), first, iterator))
+    while heap:
+        t, idx, _s, obj, iterator = heapq.heappop(heap)
+        yield obj
+        nxt = next(iterator, None)
+        if nxt is not None:
+            heapq.heappush(heap, (nxt.t_arrival, idx, next(seq), nxt, iterator))

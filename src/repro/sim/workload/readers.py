@@ -1,0 +1,83 @@
+"""Read-request generation from the download-popularity model.
+
+The Figure 8 trace describes *how often* lectures are downloaded;
+this module turns that demand into concrete per-object read requests so
+experiments can measure **read availability** — whether the bytes a user
+asks for are still resident when asked.
+
+Each day's request count comes from the same demand model as the trace
+synthesiser; the *target* of each request is drawn over the lectures
+released so far with geometrically decaying weight by age, except inside
+a pre-exam review window, where all released lectures are (re)watched
+near-uniformly.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.errors import SimulationError
+from repro.sim.workload.downloads import DownloadTraceConfig, synthesize_download_trace
+from repro.units import MINUTES_PER_DAY
+
+__all__ = ["ReadRequest", "build_read_schedule"]
+
+
+@dataclass(frozen=True)
+class ReadRequest:
+    """One user read of one released lecture."""
+
+    t: float
+    lecture_index: int  # index into the release list
+
+
+def build_read_schedule(
+    release_days: Sequence[int],
+    *,
+    config: DownloadTraceConfig | None = None,
+    seed: int = 0,
+) -> list[ReadRequest]:
+    """Generate time-ordered read requests against released lectures.
+
+    ``release_days`` are the absolute days each lecture was published
+    (ascending).  Request volume per day follows the synthetic trace;
+    request *targets* follow recency-weighted choice, flattened to
+    near-uniform in pre-exam review windows.
+    """
+    if not release_days:
+        raise SimulationError("need at least one released lecture")
+    if list(release_days) != sorted(release_days):
+        raise SimulationError("release days must be ascending")
+    cfg = config or DownloadTraceConfig()
+    rng = random.Random(seed)
+    trace = synthesize_download_trace(cfg, seed=seed)
+
+    requests: list[ReadRequest] = []
+    for day, count in trace:
+        # A lecture becomes readable the day *after* its capture (videos
+        # are processed overnight), so same-day reads never race the
+        # capture pipeline.
+        released = [i for i, d in enumerate(release_days) if d < day]
+        if not released or count == 0:
+            continue
+        in_review = any(
+            exam - cfg.review_window <= day <= exam for exam in cfg.exam_days
+        )
+        if in_review:
+            weights = [1.0] * len(released)
+        else:
+            weights = [
+                cfg.decay ** (day - release_days[i]) for i in released
+            ]
+        total = sum(weights)
+        if total <= 0.0:
+            continue
+        for r in range(count):
+            target = rng.choices(released, weights=weights, k=1)[0]
+            # Spread the day's reads over its 24 hours deterministically.
+            minute = day * MINUTES_PER_DAY + (r * MINUTES_PER_DAY) // max(1, count)
+            requests.append(ReadRequest(t=float(minute), lecture_index=target))
+    requests.sort(key=lambda req: req.t)
+    return requests

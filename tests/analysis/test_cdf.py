@@ -1,0 +1,48 @@
+"""Tests for byte-importance CDFs (Figure 7 machinery)."""
+
+import pytest
+
+from repro.analysis.cdf import (
+    byte_importance_cdf,
+    fraction_at_or_above,
+    minimum_storable_importance,
+)
+
+
+SNAPSHOT = [(0.0, 200), (0.3, 300), (1.0, 500)]
+
+
+class TestCdf:
+    def test_cumulative_fractions(self):
+        cdf = byte_importance_cdf(SNAPSHOT)
+        assert cdf == [(0.0, 0.2), (0.3, 0.5), (1.0, 1.0)]
+
+    def test_final_fraction_is_one(self):
+        cdf = byte_importance_cdf([(0.5, 10)])
+        assert cdf[-1][1] == 1.0
+
+    def test_rejects_empty_and_unsorted(self):
+        with pytest.raises(ValueError):
+            byte_importance_cdf([])
+        with pytest.raises(ValueError):
+            byte_importance_cdf([(0.5, 10), (0.2, 10)])
+
+
+class TestFractionAtOrAbove:
+    def test_importance_one_mass(self):
+        assert fraction_at_or_above(SNAPSHOT, 1.0) == 0.5
+
+    def test_threshold_includes_equal(self):
+        assert fraction_at_or_above(SNAPSHOT, 0.3) == 0.8
+
+    def test_zero_threshold_is_everything(self):
+        assert fraction_at_or_above(SNAPSHOT, 0.0) == 1.0
+
+
+class TestMinimumStorable:
+    def test_ignores_zero_mass(self):
+        assert minimum_storable_importance(SNAPSHOT) == 0.3
+
+    def test_raises_when_nothing_live(self):
+        with pytest.raises(ValueError):
+            minimum_storable_importance([(0.0, 100)])

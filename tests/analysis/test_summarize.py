@@ -1,0 +1,64 @@
+"""Tests for the descriptive-statistics helpers."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis.summarize import coefficient_of_variation, describe, percentile
+
+
+class TestPercentile:
+    def test_matches_numpy_linear_method(self):
+        values = [3.0, 1.0, 4.0, 1.0, 5.0, 9.0, 2.0, 6.0]
+        for q in (0, 10, 25, 50, 75, 90, 100):
+            assert percentile(values, q) == pytest.approx(np.percentile(values, q))
+
+    def test_single_value(self):
+        assert percentile([7.0], 50) == 7.0
+
+    def test_rejects_empty_and_bad_q(self):
+        with pytest.raises(ValueError):
+            percentile([], 50)
+        with pytest.raises(ValueError):
+            percentile([1.0], 101)
+
+
+class TestDescribe:
+    def test_known_sample(self):
+        desc = describe([2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0])
+        assert desc.mean == 5.0
+        assert desc.std == pytest.approx(2.0)
+        assert desc.minimum == 2.0 and desc.maximum == 9.0
+        assert desc.median == 4.5
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            describe([])
+
+    @given(st.lists(st.floats(min_value=-1e6, max_value=1e6), min_size=1, max_size=50))
+    @settings(max_examples=100)
+    def test_bounds_property(self, values):
+        desc = describe(values)
+        tol = 1e-9 * max(1.0, abs(desc.maximum), abs(desc.minimum))
+        assert desc.minimum <= desc.p25 + tol
+        assert desc.p25 <= desc.median + tol
+        assert desc.median <= desc.p75 + tol
+        assert desc.p75 <= desc.maximum + tol
+        assert desc.minimum - tol <= desc.mean <= desc.maximum + tol
+        assert desc.std >= 0.0
+
+
+class TestCV:
+    def test_zero_for_constant_series(self):
+        assert coefficient_of_variation([5.0, 5.0, 5.0]) == 0.0
+
+    def test_infinite_for_zero_mean(self):
+        assert math.isinf(coefficient_of_variation([-1.0, 1.0]))
+
+    def test_scale_invariant(self):
+        a = coefficient_of_variation([1.0, 2.0, 3.0])
+        b = coefficient_of_variation([10.0, 20.0, 30.0])
+        assert a == pytest.approx(b)

@@ -1,0 +1,89 @@
+"""Tests for capability-based authentication/authorisation."""
+
+import dataclasses
+import math
+
+import pytest
+
+from repro.besteffs.auth import AuthError, CapabilityRealm
+from repro.core.importance import TwoStepImportance
+from repro.units import days, gib
+from tests.conftest import make_obj
+
+
+@pytest.fixture
+def realm():
+    return CapabilityRealm(b"deployment-secret")
+
+
+class TestMinting:
+    def test_minted_capability_verifies(self, realm):
+        cap = realm.mint("camera-1")
+        realm.verify(cap, now=0.0)  # should not raise
+
+    def test_other_realm_rejects(self, realm):
+        cap = realm.mint("camera-1")
+        other = CapabilityRealm(b"different-secret")
+        with pytest.raises(AuthError, match="forged"):
+            other.verify(cap, now=0.0)
+
+    def test_tampered_capability_rejected(self, realm):
+        cap = realm.mint("student:alice", max_initial_importance=0.5)
+        upgraded = dataclasses.replace(cap, max_initial_importance=1.0)
+        with pytest.raises(AuthError, match="forged"):
+            realm.verify(upgraded, now=0.0)
+
+    def test_expiry_enforced(self, realm):
+        cap = realm.mint("camera-1", expires_at_minutes=days(1))
+        realm.verify(cap, now=days(0.5))
+        with pytest.raises(AuthError, match="expired"):
+            realm.verify(cap, now=days(2))
+
+    @pytest.mark.parametrize("kwargs", [
+        {"actions": ("fly",)},
+        {"max_initial_importance": 1.5},
+        {"max_object_bytes": 0},
+    ])
+    def test_invalid_grants_rejected(self, realm, kwargs):
+        with pytest.raises(AuthError):
+            realm.mint("p", **kwargs)
+
+    def test_empty_principal_and_key_rejected(self, realm):
+        with pytest.raises(AuthError):
+            realm.mint("")
+        with pytest.raises(AuthError):
+            CapabilityRealm(b"")
+
+
+class TestAuthorizeStore:
+    def test_within_limits_passes(self, realm):
+        cap = realm.mint("camera-1", max_object_bytes=gib(2))
+        realm.authorize_store(cap, make_obj(1.0), now=0.0)
+
+    def test_store_action_required(self, realm):
+        cap = realm.mint("reader", actions=("read",))
+        with pytest.raises(AuthError, match="may not store"):
+            realm.authorize_store(cap, make_obj(1.0), now=0.0)
+
+    def test_byte_limit_enforced(self, realm):
+        cap = realm.mint("small", max_object_bytes=gib(1))
+        with pytest.raises(AuthError, match="exceeds"):
+            realm.authorize_store(cap, make_obj(2.0), now=0.0)
+
+    def test_importance_ceiling_enforces_student_pegging(self, realm):
+        # The Section 5.2 policy: student cameras start at 50% importance.
+        cap = realm.mint("student:bob", max_initial_importance=0.5)
+        allowed = make_obj(
+            1.0, lifetime=TwoStepImportance(p=0.5, t_persist=days(1), t_wane=days(1))
+        )
+        realm.authorize_store(cap, allowed, now=0.0)
+        greedy = make_obj(
+            1.0, lifetime=TwoStepImportance(p=1.0, t_persist=days(1), t_wane=days(1))
+        )
+        with pytest.raises(AuthError, match="ceiling"):
+            realm.authorize_store(cap, greedy, now=0.0)
+
+    def test_default_capability_is_permissive(self, realm):
+        cap = realm.mint("admin")
+        assert math.isinf(cap.expires_at_minutes)
+        realm.authorize_store(cap, make_obj(1.0), now=days(10_000))

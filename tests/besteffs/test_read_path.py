@@ -1,0 +1,45 @@
+"""Tests for the cluster read path."""
+
+import pytest
+
+from repro.besteffs.cluster import BesteffsCluster
+from repro.besteffs.placement import PlacementConfig
+from repro.errors import UnknownObjectError
+from repro.units import days, gib
+from tests.conftest import make_obj
+
+
+@pytest.fixture
+def cluster():
+    return BesteffsCluster(
+        {f"n{i}": gib(2) for i in range(4)},
+        placement=PlacementConfig(x=4, m=2),
+        seed=1,
+    )
+
+
+class TestRead:
+    def test_read_returns_the_object(self, cluster):
+        obj = make_obj(1.0, object_id="vid")
+        cluster.offer(obj, 0.0)
+        fetched = cluster.read("vid", days(1))
+        assert fetched is obj
+
+    def test_read_updates_recency(self, cluster):
+        obj = make_obj(1.0, object_id="vid")
+        decision, _result = cluster.offer(obj, 0.0)
+        node = cluster.nodes[decision.node_id]
+        assert node.store.last_access("vid") == 0.0
+        cluster.read("vid", days(3))
+        assert node.store.last_access("vid") == days(3)
+
+    def test_read_after_reclamation_raises(self, cluster):
+        obj = make_obj(1.0, object_id="vid")
+        decision, _result = cluster.offer(obj, 0.0)
+        cluster.nodes[decision.node_id].store.remove("vid", days(1))
+        with pytest.raises(UnknownObjectError):
+            cluster.read("vid", days(2))
+
+    def test_read_unknown_raises(self, cluster):
+        with pytest.raises(UnknownObjectError):
+            cluster.read("ghost", 0.0)

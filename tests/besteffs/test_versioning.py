@@ -1,0 +1,79 @@
+"""Tests for write-once versioned namespaces."""
+
+import pytest
+
+from repro.besteffs.cluster import BesteffsCluster
+from repro.besteffs.placement import PlacementConfig
+from repro.besteffs.versioning import VersionedNamespace
+from repro.errors import UnknownObjectError, VersioningError
+from repro.units import days, gib
+from tests.conftest import make_obj
+
+
+@pytest.fixture
+def namespace():
+    cluster = BesteffsCluster(
+        {f"n{i}": gib(2) for i in range(4)},
+        placement=PlacementConfig(x=2, m=2),
+        seed=3,
+    )
+    return VersionedNamespace(cluster), cluster
+
+
+class TestPut:
+    def test_versions_accumulate(self, namespace):
+        ns, _cluster = namespace
+        r1 = ns.put("lecture/os/01", make_obj(0.5), 0.0)
+        r2 = ns.put("lecture/os/01", make_obj(0.5), days(1))
+        assert (r1.version, r2.version) == (1, 2)
+        assert [r.version for r in ns.versions("lecture/os/01")] == [1, 2]
+
+    def test_write_once_rule(self, namespace):
+        ns, _cluster = namespace
+        obj = make_obj(0.5)
+        ns.put("doc", obj, 0.0)
+        with pytest.raises(VersioningError, match="write-once"):
+            ns.put("doc", obj, days(1))
+
+    def test_failed_placement_returns_none(self):
+        cluster = BesteffsCluster(
+            {"only": gib(1)}, placement=PlacementConfig(x=1, m=1), seed=0
+        )
+        ns = VersionedNamespace(cluster)
+        assert ns.put("a", make_obj(1.0), 0.0) is not None
+        # Cluster is full at equal importance: the put fails cleanly.
+        assert ns.put("a", make_obj(1.0), 0.0) is None
+        assert len(ns.versions("a")) == 1
+
+    def test_empty_name_rejected(self, namespace):
+        ns, _cluster = namespace
+        with pytest.raises(VersioningError):
+            ns.put("", make_obj(0.5), 0.0)
+
+
+class TestReads:
+    def test_latest_available_tracks_survivors(self, namespace):
+        ns, cluster = namespace
+        r1 = ns.put("doc", make_obj(0.5), 0.0)
+        r2 = ns.put("doc", make_obj(0.5), days(1))
+        assert ns.latest_available("doc").version == 2
+        # Remove the newest version's bytes; reads fall back to v1.
+        node = cluster.locate(r2.object_id)
+        node.store.remove(r2.object_id, days(2))
+        assert ns.latest_available("doc").version == 1
+        node1 = cluster.locate(r1.object_id)
+        node1.store.remove(r1.object_id, days(2))
+        assert ns.latest_available("doc") is None
+
+    def test_surviving_fraction(self, namespace):
+        ns, cluster = namespace
+        r1 = ns.put("doc", make_obj(0.5), 0.0)
+        ns.put("doc", make_obj(0.5), days(1))
+        assert ns.surviving_fraction("doc") == 1.0
+        cluster.locate(r1.object_id).store.remove(r1.object_id, days(2))
+        assert ns.surviving_fraction("doc") == 0.5
+
+    def test_unknown_name_raises(self, namespace):
+        ns, _cluster = namespace
+        with pytest.raises(UnknownObjectError):
+            ns.versions("nope")

@@ -1,0 +1,115 @@
+"""Tests for the delete-optimised expiry index."""
+
+import pytest
+
+from repro.core.expiry_index import ExpiryIndex, IndexedSweeper
+from repro.core.importance import ConstantImportance, FixedLifetimeImportance
+from repro.core.policies.temporal import TemporalImportancePolicy
+from repro.core.store import StorageUnit
+from repro.errors import ReproError
+from repro.units import days, gib
+from tests.conftest import make_obj
+
+
+def expiring(object_id, expire_days, t_arrival=0.0, size=0.1):
+    return make_obj(
+        size,
+        t_arrival=t_arrival,
+        lifetime=FixedLifetimeImportance(p=1.0, expire_after=days(expire_days)),
+        object_id=object_id,
+    )
+
+
+class TestExpiryIndex:
+    def test_groups_by_bucket(self):
+        index = ExpiryIndex(bucket_minutes=days(1))
+        index.add(expiring("a", 1.2))
+        index.add(expiring("b", 1.4))
+        index.add(expiring("c", 9.0))
+        assert index.bucket_count == 2
+        assert len(index) == 3
+
+    def test_expired_ids_touch_only_due_buckets(self):
+        index = ExpiryIndex(bucket_minutes=days(1))
+        index.add(expiring("early", 0.5))
+        index.add(expiring("late", 20.0))
+        due = index.expired_ids(days(2))
+        assert due == ["early"]
+
+    def test_straddling_bucket_included_for_filtering(self):
+        index = ExpiryIndex(bucket_minutes=days(10))
+        index.add(expiring("mid", 7.0))
+        # now=day 3 is inside the same bucket as the expiry: the candidate
+        # is offered to the caller, which re-checks exact expiry.
+        assert index.expired_ids(days(3)) == ["mid"]
+
+    def test_immortals_never_expire(self):
+        index = ExpiryIndex()
+        obj = make_obj(0.1, lifetime=ConstantImportance(), object_id="forever")
+        index.add(obj)
+        assert "forever" in index
+        assert index.expired_ids(days(10_000)) == []
+
+    def test_discard_is_idempotent(self):
+        index = ExpiryIndex()
+        index.add(expiring("a", 1.0))
+        index.discard("a")
+        index.discard("a")
+        assert "a" not in index
+        assert index.bucket_count == 0
+
+    def test_duplicate_add_rejected(self):
+        index = ExpiryIndex()
+        obj = expiring("a", 1.0)
+        index.add(obj)
+        with pytest.raises(ReproError):
+            index.add(obj)
+
+    def test_rejects_bad_bucket_width(self):
+        with pytest.raises(ReproError):
+            ExpiryIndex(bucket_minutes=0.0)
+
+
+class TestIndexedSweeper:
+    def make_store(self):
+        return StorageUnit(gib(10), TemporalImportancePolicy(), name="swp")
+
+    def test_sweep_matches_reclaim_expired(self):
+        indexed_store = self.make_store()
+        sweeper = IndexedSweeper(indexed_store)
+        plain_store = self.make_store()
+        for i, expire in enumerate((1.0, 2.0, 3.0, 50.0)):
+            a = expiring(f"i{i}", expire)
+            b = expiring(f"p{i}", expire)
+            indexed_store.offer(a, 0.0)
+            sweeper.note_admitted(a)
+            plain_store.offer(b, 0.0)
+        now = days(2.5)
+        swept = sorted(r.obj.object_id[1:] for r in sweeper.sweep(now))
+        plain = sorted(r.obj.object_id[1:] for r in plain_store.reclaim_expired(now))
+        assert swept == plain == ["0", "1"]
+
+    def test_preemption_keeps_index_consistent(self):
+        store = StorageUnit(gib(1), TemporalImportancePolicy(), name="swp2")
+        sweeper = IndexedSweeper(store)
+        victim = make_obj(1.0, t_arrival=0.0, object_id="victim")
+        store.offer(victim, 0.0)
+        sweeper.note_admitted(victim)
+        winner = make_obj(1.0, t_arrival=days(20), object_id="winner")
+        store.offer(winner, days(20))  # preempts the waned victim
+        sweeper.note_admitted(winner)
+        assert "victim" not in sweeper.index
+        # A later sweep never trips over the already-gone victim and still
+        # reclaims the winner once it expires (arrival day 20 + 30 days).
+        swept = sweeper.sweep(days(55))
+        assert [r.obj.object_id for r in swept] == ["winner"]
+        assert "winner" not in store
+
+    def test_sweep_is_noop_when_nothing_due(self):
+        store = self.make_store()
+        sweeper = IndexedSweeper(store)
+        obj = expiring("a", 30.0)
+        store.offer(obj, 0.0)
+        sweeper.note_admitted(obj)
+        assert sweeper.sweep(days(1)) == ()
+        assert "a" in store

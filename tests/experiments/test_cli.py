@@ -1,0 +1,60 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import EXPERIMENTS, build_parser, main
+
+
+class TestParser:
+    def test_list_command(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        for name in EXPERIMENTS:
+            assert name in out
+
+    def test_run_requires_known_experiment(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run", "fig99"])
+
+    def test_missing_command_errors(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+
+class TestRun:
+    def test_run_table1(self, capsys):
+        assert main(["run", "table1"]) == 0
+        out = capsys.readouterr().out
+        assert "== table1 ==" in out
+        assert "120 - today" in out
+
+    def test_run_fig8_with_csv(self, tmp_path, capsys):
+        csv_path = tmp_path / "fig8.csv"
+        assert main(["run", "fig8", "--csv", str(csv_path)]) == 0
+        assert csv_path.exists()
+        header = csv_path.read_text().splitlines()[0]
+        assert header == "day,downloads"
+        assert "csv written" in capsys.readouterr().out
+
+    def test_run_fig2_short_horizon(self, capsys):
+        assert main(["run", "fig2", "--horizon-days", "30", "--seed", "5"]) == 0
+        assert "Figure 2" in capsys.readouterr().out
+
+    def test_run_ext_mixed(self, capsys):
+        assert main(["run", "ext-mixed", "--horizon-days", "90"]) == 0
+        out = capsys.readouterr().out
+        assert "archiver" in out and "cache" in out
+
+    def test_run_ext_churn_with_csv(self, tmp_path, capsys):
+        csv_path = tmp_path / "churn.csv"
+        assert main([
+            "run", "ext-churn", "--horizon-days", "90", "--csv", str(csv_path)
+        ]) == 0
+        assert csv_path.exists()
+        assert "lost to departures" in capsys.readouterr().out
+
+    def test_ext_experiments_are_listed(self, capsys):
+        main(["list"])
+        out = capsys.readouterr().out
+        for name in ("ext-mixed", "ext-churn", "ext-refresh"):
+            assert name in out

@@ -1,0 +1,41 @@
+"""Unit-scale tests for the sensitivity harnesses."""
+
+from repro.experiments.common import POLICY_PALIMPSEST, POLICY_TEMPORAL
+from repro.experiments.sensitivity import (
+    render_seed_sweep,
+    render_topology_sweep,
+    seed_sweep,
+    topology_sweep,
+)
+
+
+class TestSeedSweep:
+    def test_collects_all_policies_and_seeds(self):
+        result = seed_sweep(seeds=(1, 2), capacity_gib=10, horizon_days=90.0)
+        assert result.seeds == (1, 2)
+        for metrics in result.samples.values():
+            for values in metrics.values():
+                assert len(values) == 2
+
+    def test_summary_and_render(self):
+        result = seed_sweep(seeds=(1, 2, 3), capacity_gib=10, horizon_days=90.0)
+        summary = result.summary(POLICY_TEMPORAL, "mean_density")
+        assert 0.0 <= summary["mean"] <= 1.0
+        rendered = render_seed_sweep(result)
+        assert "Seed sensitivity" in rendered
+        assert POLICY_PALIMPSEST in rendered
+
+
+class TestTopologySweep:
+    def test_covers_three_topologies(self):
+        result = topology_sweep(nodes=12, horizon_days=60.0)
+        assert set(result.per_topology) == {
+            "random-regular", "small-world", "complete"
+        }
+        for stats in result.per_topology.values():
+            assert stats["placed"] >= 0
+            assert 0.0 <= stats["mean_density"] <= 1.0
+
+    def test_render(self):
+        result = topology_sweep(nodes=12, horizon_days=60.0)
+        assert "Overlay-topology" in render_topology_sweep(result)

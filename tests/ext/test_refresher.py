@@ -1,0 +1,102 @@
+"""Tests for the Palimpsest rejuvenation client."""
+
+import pytest
+
+from repro.core.importance import DiracImportance
+from repro.core.policies.palimpsest import PalimpsestPolicy
+from repro.core.store import StorageUnit
+from repro.errors import ReproError
+from repro.ext.refresher import PalimpsestRefresher
+from repro.units import days, gib
+from tests.conftest import make_obj
+
+
+def fifo_store(capacity_gib=4):
+    return StorageUnit(gib(capacity_gib), PalimpsestPolicy(), keep_history=False)
+
+
+def keeper(object_id, t=0.0, size=1.0):
+    return make_obj(size, t_arrival=t, lifetime=DiracImportance(), object_id=object_id)
+
+
+class TestRegister:
+    def test_register_stores_immediately(self):
+        store = fifo_store()
+        refresher = PalimpsestRefresher(store, lambda now: days(10))
+        assert refresher.register(keeper("k0"), keep_until=days(30), now=0.0)
+        assert "k0" in store
+        assert refresher.registered == 1
+
+    def test_oversized_registration_fails(self):
+        store = fifo_store(capacity_gib=1)
+        refresher = PalimpsestRefresher(store, lambda now: days(10))
+        assert not refresher.register(keeper("big", size=2.0), days(30), 0.0)
+        assert refresher.registered == 0
+
+    def test_rejects_bad_safety_factor(self):
+        with pytest.raises(ReproError):
+            PalimpsestRefresher(fifo_store(), lambda now: 1.0, safety_factor=0.0)
+
+
+class TestRefreshing:
+    def test_refresh_issued_at_safety_deadline(self):
+        store = fifo_store()
+        refresher = PalimpsestRefresher(
+            store, lambda now: days(10), safety_factor=0.5
+        )
+        refresher.register(keeper("k0"), keep_until=days(100), now=0.0)
+        assert refresher.tick(days(3)) == 0   # before the 5-day deadline
+        assert refresher.tick(days(5)) == 1   # due now
+        assert refresher.refreshes == 1
+        assert refresher.bytes_rewritten == gib(1)
+
+    def test_refresh_keeps_object_alive_under_sweep(self):
+        store = fifo_store(capacity_gib=4)
+        refresher = PalimpsestRefresher(
+            store, lambda now: days(4), safety_factor=0.5
+        )
+        refresher.register(keeper("precious"), keep_until=days(40), now=0.0)
+        # Background FIFO load: 1 GiB/day sweeps the disk every ~4 days.
+        for day in range(1, 40):
+            now = days(day)
+            refresher.tick(now)
+            store.offer(keeper(f"bg-{day}", t=now), now)
+        outcome = refresher.finalise(days(40))
+        assert outcome.lost == 0
+        assert outcome.refreshes >= 15  # paid for survival with rewrites
+
+    def test_optimistic_estimate_loses_the_object(self):
+        store = fifo_store(capacity_gib=4)
+        # Client believes the sojourn is 100 days; it is actually ~4.
+        refresher = PalimpsestRefresher(
+            store, lambda now: days(100), safety_factor=0.5
+        )
+        refresher.register(keeper("doomed"), keep_until=days(40), now=0.0)
+        for day in range(1, 20):
+            now = days(day)
+            refresher.tick(now)
+            store.offer(keeper(f"bg-{day}", t=now), now)
+        outcome = refresher.finalise(days(20))
+        assert outcome.lost == 1
+        assert outcome.surviving == 0
+
+    def test_goal_reached_stops_refreshing(self):
+        store = fifo_store()
+        refresher = PalimpsestRefresher(store, lambda now: days(2), safety_factor=0.5)
+        refresher.register(keeper("k0"), keep_until=days(3), now=0.0)
+        refresher.tick(days(1))
+        refreshes_before = refresher.refreshes
+        refresher.tick(days(4))   # keep window has passed
+        refresher.tick(days(10))  # no further refreshes for k0
+        assert refresher.refreshes == refreshes_before
+
+    def test_write_amplification_accounting(self):
+        store = fifo_store()
+        refresher = PalimpsestRefresher(store, lambda now: days(2), safety_factor=0.5)
+        refresher.register(keeper("k0"), keep_until=days(10), now=0.0)
+        for day in range(1, 10):
+            refresher.tick(days(day))
+        outcome = refresher.finalise(days(10))
+        assert outcome.write_amplification == pytest.approx(
+            (1 + outcome.refreshes) / 1
+        )

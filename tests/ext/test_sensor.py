@@ -1,0 +1,77 @@
+"""Tests for the Section 6 sensor-store scenario."""
+
+import pytest
+
+from repro.errors import CapacityError, UnknownObjectError
+from repro.ext.sensor import SensorPipeline, SensorStage
+from repro.units import hours, mib
+
+
+@pytest.fixture
+def node():
+    return SensorPipeline.with_capacity(mib(16))
+
+
+class TestLifecycle:
+    def test_sample_process_ack(self, node):
+        reading = node.sample(mib(4), 0.0, object_id="r0")
+        assert reading is not None and reading.stage is SensorStage.RAW
+        node.mark_processed("r0", hours(1))
+        assert node.stage_of("r0") is SensorStage.PROCESSED
+        node.acknowledge("r0", hours(2))
+        assert node.stage_of("r0") is SensorStage.ACKED
+
+    def test_stage_transitions_enforced(self, node):
+        node.sample(mib(4), 0.0, object_id="r0")
+        with pytest.raises(CapacityError, match="expected processed"):
+            node.acknowledge("r0", hours(1))  # cannot skip PROCESSED
+        node.mark_processed("r0", hours(1))
+        with pytest.raises(CapacityError, match="expected raw"):
+            node.mark_processed("r0", hours(2))
+
+    def test_unknown_reading_raises(self, node):
+        with pytest.raises(UnknownObjectError):
+            node.mark_processed("ghost", 0.0)
+        with pytest.raises(UnknownObjectError):
+            node.stage_of("ghost")
+
+
+class TestPressureBehaviour:
+    def test_raw_data_is_never_displaced_by_new_samples(self, node):
+        # Fill the node with RAW readings (importance 1.0 each).
+        for i in range(4):
+            assert node.sample(mib(4), float(i), object_id=f"r{i}") is not None
+        # A fifth sample must be rejected: RAW cannot preempt RAW.
+        assert node.sample(mib(4), 10.0, object_id="r4") is None
+        assert len(node.surviving(SensorStage.RAW)) == 4
+
+    def test_acked_data_yields_to_new_samples(self, node):
+        for i in range(4):
+            node.sample(mib(4), float(i), object_id=f"r{i}")
+        node.mark_processed("r0", 5.0)
+        node.acknowledge("r0", 6.0)
+        fresh = node.sample(mib(4), 10.0, object_id="r4")
+        assert fresh is not None
+        assert "r0" not in node.store  # the acked reading was preempted
+        assert len(node.surviving(SensorStage.RAW)) == 4
+
+    def test_processed_data_outranks_acked(self, node):
+        for i in range(4):
+            node.sample(mib(4), float(i), object_id=f"r{i}")
+        node.mark_processed("r0", 5.0)
+        node.mark_processed("r1", 5.0)
+        node.acknowledge("r1", 6.0)
+        node.sample(mib(4), 10.0, object_id="new")
+        assert "r0" in node.store       # processed survives
+        assert "r1" not in node.store   # acked went first
+
+    def test_surviving_prunes_evicted_bookkeeping(self, node):
+        for i in range(4):
+            node.sample(mib(4), float(i), object_id=f"r{i}")
+        node.mark_processed("r0", 5.0)
+        node.acknowledge("r0", 6.0)
+        node.sample(mib(4), 10.0, object_id="r4")
+        survivors = {r.object_id for r in node.surviving()}
+        assert "r0" not in survivors
+        with pytest.raises(UnknownObjectError):
+            node.stage_of("r0")

@@ -1,0 +1,114 @@
+"""Tests for the report layer: tables, ASCII charts, CSV output."""
+
+import pytest
+
+from repro.report.asciichart import ascii_cdf, ascii_plot, sparkline
+from repro.report.csvout import write_csv
+from repro.report.table import TextTable
+
+
+class TestTextTable:
+    def test_renders_headers_and_rows(self):
+        table = TextTable(["policy", "rejected"])
+        table.add_row(["temporal", 32])
+        table.add_row(["palimpsest", 0])
+        text = table.render()
+        lines = text.splitlines()
+        assert "policy" in lines[0] and "rejected" in lines[0]
+        assert "temporal" in text and "palimpsest" in text
+
+    def test_numeric_columns_right_aligned(self):
+        table = TextTable(["name", "count"])
+        table.add_row(["a", 5])
+        table.add_row(["bb", 123])
+        lines = table.render().splitlines()
+        assert lines[-1].endswith("123")
+        assert lines[-2].endswith("  5")
+
+    def test_title_prepended(self):
+        table = TextTable(["x"], title="My Table")
+        table.add_row([1])
+        assert table.render().startswith("My Table")
+
+    def test_row_width_mismatch_raises(self):
+        table = TextTable(["a", "b"])
+        with pytest.raises(ValueError):
+            table.add_row([1])
+
+    def test_empty_headers_raise(self):
+        with pytest.raises(ValueError):
+            TextTable([])
+
+    def test_float_formatting(self):
+        table = TextTable(["v"])
+        table.add_row([0.123456789])
+        assert "0.1235" in table.render()
+
+
+class TestAsciiPlot:
+    def test_contains_marks_and_legend(self):
+        chart = ascii_plot(
+            {"a": [(0.0, 0.0), (1.0, 1.0)], "b": [(0.0, 1.0), (1.0, 0.0)]},
+            title="T",
+        )
+        assert chart.startswith("T")
+        assert "* a" in chart and "o b" in chart
+        assert "*" in chart and "o" in chart
+
+    def test_empty_series_say_no_data(self):
+        chart = ascii_plot({"a": []})
+        assert "(no data)" in chart
+
+    def test_axis_labels_present(self):
+        chart = ascii_plot(
+            {"a": [(0.0, 5.0), (10.0, 7.0)]}, x_label="day", y_label="density"
+        )
+        assert "x: day" in chart and "y: density" in chart
+
+    def test_min_max_labels(self):
+        chart = ascii_plot({"a": [(0.0, 2.0), (4.0, 8.0)]})
+        assert "8" in chart and "2" in chart and "0" in chart and "4" in chart
+
+    def test_degenerate_single_point(self):
+        chart = ascii_plot({"a": [(1.0, 1.0)]})
+        assert "*" in chart
+
+    def test_rejects_tiny_grid(self):
+        with pytest.raises(ValueError):
+            ascii_plot({"a": [(0.0, 1.0)]}, width=5, height=2)
+
+    def test_cdf_wrapper(self):
+        chart = ascii_cdf([(0.0, 0.1), (1.0, 1.0)], title="CDF")
+        assert chart.startswith("CDF")
+        assert "importance" in chart
+
+
+class TestSparkline:
+    def test_length_matches_input(self):
+        assert len(sparkline([1.0, 2.0, 3.0])) == 3
+
+    def test_constant_series(self):
+        line = sparkline([5.0, 5.0])
+        assert len(set(line)) == 1
+
+    def test_empty(self):
+        assert sparkline([]) == ""
+
+    def test_monotone_series_is_nondecreasing_in_blocks(self):
+        line = sparkline([0.0, 1.0, 2.0, 3.0])
+        assert list(line) == sorted(line, key=ord)
+
+
+class TestWriteCsv:
+    def test_writes_header_and_rows(self, tmp_path):
+        path = write_csv(tmp_path / "out.csv", ["a", "b"], [[1, 2], [3, 4]])
+        content = path.read_text().strip().splitlines()
+        assert content == ["a,b", "1,2", "3,4"]
+
+    def test_creates_parent_directories(self, tmp_path):
+        path = write_csv(tmp_path / "deep" / "dir" / "out.csv", ["x"], [[1]])
+        assert path.exists()
+
+    def test_rejects_mismatched_rows(self, tmp_path):
+        with pytest.raises(ValueError):
+            write_csv(tmp_path / "o.csv", ["a", "b"], [[1]])

@@ -1,0 +1,142 @@
+"""Unit tests for the discrete-event engine."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim.engine import SimulationEngine
+from repro.sim.events import PRIORITY_ARRIVAL, PRIORITY_PROBE, Event
+
+
+class TestScheduling:
+    def test_events_dispatch_in_time_order(self):
+        engine = SimulationEngine()
+        log = []
+        engine.schedule_at(30.0, lambda t: log.append(("b", t)))
+        engine.schedule_at(10.0, lambda t: log.append(("a", t)))
+        engine.schedule_at(20.0, lambda t: log.append(("m", t)))
+        engine.run(100.0)
+        assert log == [("a", 10.0), ("m", 20.0), ("b", 30.0)]
+
+    def test_ties_respect_priority_then_insertion(self):
+        engine = SimulationEngine()
+        log = []
+        engine.schedule_at(5.0, lambda t: log.append("probe"), priority=PRIORITY_PROBE)
+        engine.schedule_at(5.0, lambda t: log.append("arrival1"), priority=PRIORITY_ARRIVAL)
+        engine.schedule_at(5.0, lambda t: log.append("arrival2"), priority=PRIORITY_ARRIVAL)
+        engine.run(10.0)
+        assert log == ["arrival1", "arrival2", "probe"]
+
+    def test_cannot_schedule_into_the_past(self):
+        engine = SimulationEngine()
+        engine.schedule_at(10.0, lambda t: None)
+        engine.run(20.0)
+        with pytest.raises(SimulationError):
+            engine.schedule_at(5.0, lambda t: None)
+
+    def test_callbacks_can_schedule_more_events(self):
+        engine = SimulationEngine()
+        log = []
+
+        def chain(t):
+            log.append(t)
+            if t < 5.0:
+                engine.schedule_at(t + 1.0, chain)
+
+        engine.schedule_at(0.0, chain)
+        engine.run(10.0)
+        assert log == [0.0, 1.0, 2.0, 3.0, 4.0, 5.0]
+
+    def test_invalid_event_construction(self):
+        with pytest.raises(SimulationError):
+            Event(time=-1.0, callback=lambda t: None)
+        with pytest.raises(SimulationError):
+            Event(time=1.0, callback="not-callable")
+
+
+class TestRun:
+    def test_run_honours_horizon(self):
+        engine = SimulationEngine()
+        log = []
+        engine.schedule_at(10.0, lambda t: log.append(t))
+        engine.schedule_at(100.0, lambda t: log.append(t))
+        dispatched = engine.run(50.0)
+        assert dispatched == 1
+        assert log == [10.0]
+        assert engine.pending == 1
+        assert engine.now == 50.0  # clock parked at the horizon
+
+    def test_run_can_be_resumed(self):
+        engine = SimulationEngine()
+        log = []
+        engine.schedule_at(10.0, lambda t: log.append(t))
+        engine.schedule_at(100.0, lambda t: log.append(t))
+        engine.run(50.0)
+        engine.run(150.0)
+        assert log == [10.0, 100.0]
+
+    def test_run_backwards_raises(self):
+        engine = SimulationEngine()
+        engine.run(100.0)
+        with pytest.raises(SimulationError):
+            engine.run(50.0)
+
+    def test_max_events_limits_dispatch(self):
+        engine = SimulationEngine()
+        log = []
+        for i in range(10):
+            engine.schedule_at(float(i), lambda t: log.append(t))
+        engine.run(100.0, max_events=3)
+        assert len(log) == 3
+
+    def test_stop_exits_the_loop(self):
+        engine = SimulationEngine()
+        log = []
+        engine.schedule_at(1.0, lambda t: log.append(t))
+        engine.schedule_at(2.0, lambda t: engine.stop())
+        engine.schedule_at(3.0, lambda t: log.append(t))
+        engine.run(10.0)
+        assert log == [1.0]
+        assert engine.pending == 1
+
+    def test_dispatch_counter_accumulates(self):
+        engine = SimulationEngine()
+        for i in range(5):
+            engine.schedule_at(float(i), lambda t: None)
+        engine.run(10.0)
+        assert engine.dispatched == 5
+
+    def test_progress_callback(self):
+        engine = SimulationEngine()
+        seen = []
+        for i in range(5):
+            engine.schedule_at(float(i), lambda t: None)
+        engine.run(10.0, on_progress=lambda t, n: seen.append(n), progress_every=2)
+        assert seen == [2, 4]
+
+
+class TestPeriodic:
+    def test_fires_at_fixed_interval(self):
+        engine = SimulationEngine()
+        log = []
+        engine.schedule_periodic(0.0, 10.0, log.append, end_minutes=35.0)
+        engine.run(100.0)
+        assert log == [0.0, 10.0, 20.0, 30.0]
+
+    def test_interval_must_be_positive(self):
+        with pytest.raises(SimulationError):
+            SimulationEngine().schedule_periodic(0.0, 0.0, lambda t: None)
+
+    def test_periodic_survives_horizon_pauses(self):
+        engine = SimulationEngine()
+        log = []
+        engine.schedule_periodic(0.0, 10.0, log.append)
+        engine.run(25.0)
+        engine.run(45.0)
+        assert log == [0.0, 10.0, 20.0, 30.0, 40.0]
+
+    def test_start_after_end_schedules_nothing(self):
+        engine = SimulationEngine()
+        log = []
+        engine.schedule_periodic(50.0, 10.0, log.append, end_minutes=40.0)
+        engine.run(100.0)
+        assert log == []

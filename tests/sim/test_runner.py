@@ -1,0 +1,71 @@
+"""Unit tests for scenario orchestration."""
+
+import pytest
+
+from repro.core.policies.temporal import TemporalImportancePolicy
+from repro.core.store import StorageUnit
+from repro.errors import SimulationError
+from repro.sim.engine import SimulationEngine
+from repro.sim.recorder import Recorder
+from repro.sim.runner import feed_arrivals, run_single_store
+from repro.units import days, gib
+from tests.conftest import make_obj
+
+
+class TestFeedArrivals:
+    def test_streams_lazily_in_order(self):
+        store = StorageUnit(gib(100), TemporalImportancePolicy())
+        engine = SimulationEngine()
+        recorder = Recorder()
+        arrivals = (make_obj(1.0, t_arrival=days(i)) for i in range(5))
+        feed_arrivals(engine, store, arrivals, recorder)
+        # Only the first arrival is in the heap; the rest follow lazily.
+        assert engine.pending == 1
+        engine.run(days(10))
+        assert store.resident_count == 5
+        assert [a.t for a in recorder.arrivals] == [days(i) for i in range(5)]
+
+    def test_rejects_backwards_stream(self):
+        store = StorageUnit(gib(100), TemporalImportancePolicy())
+        engine = SimulationEngine()
+        bad = [make_obj(1.0, t_arrival=days(5)), make_obj(1.0, t_arrival=days(1))]
+        feed_arrivals(engine, store, iter(bad), None)
+        with pytest.raises(SimulationError, match="backwards"):
+            engine.run(days(10))
+
+    def test_drops_arrivals_beyond_horizon(self):
+        store = StorageUnit(gib(100), TemporalImportancePolicy())
+        engine = SimulationEngine()
+        arrivals = [make_obj(1.0, t_arrival=days(i)) for i in (1, 2, 50)]
+        feed_arrivals(engine, store, iter(arrivals), None, horizon_minutes=days(10))
+        engine.run(days(10))
+        assert store.resident_count == 2
+
+
+class TestRunSingleStore:
+    def test_end_to_end_with_density_sampling(self):
+        store = StorageUnit(gib(10), TemporalImportancePolicy())
+        arrivals = [make_obj(1.0, t_arrival=days(i)) for i in range(5)]
+        result = run_single_store(
+            store, iter(arrivals), days(10), density_interval_minutes=days(1)
+        )
+        assert result.store is store
+        assert result.recorder.admitted_count() == 5
+        assert len(result.recorder.density_samples) == 11
+        assert result.summary["arrivals"] == 5.0
+
+    def test_density_sampling_can_be_disabled(self):
+        store = StorageUnit(gib(10), TemporalImportancePolicy())
+        result = run_single_store(
+            store, iter([make_obj(1.0)]), days(1), density_interval_minutes=None
+        )
+        assert result.recorder.density_samples == []
+
+    def test_external_recorder_is_used(self):
+        store = StorageUnit(gib(10), TemporalImportancePolicy())
+        recorder = Recorder()
+        result = run_single_store(
+            store, iter([make_obj(1.0)]), days(1), recorder=recorder
+        )
+        assert result.recorder is recorder
+        assert len(recorder.arrivals) == 1

@@ -1,0 +1,85 @@
+"""Tests for trace persistence."""
+
+import json
+
+import pytest
+
+from repro.core.policies.temporal import TemporalImportancePolicy
+from repro.core.store import StorageUnit
+from repro.errors import ReproError
+from repro.sim.runner import run_single_store
+from repro.sim.traceio import load_trace, save_trace
+from repro.sim.workload.single_app import SingleAppWorkload
+from repro.units import days, gib
+
+
+@pytest.fixture
+def recorded_run():
+    store = StorageUnit(gib(5), TemporalImportancePolicy(), keep_history=False)
+    workload = SingleAppWorkload(seed=9)
+    return run_single_store(store, workload.arrivals(days(60)), days(60))
+
+
+class TestRoundTrip:
+    def test_all_streams_survive(self, recorded_run, tmp_path):
+        original = recorded_run.recorder
+        path = save_trace(original, tmp_path / "run.jsonl")
+        loaded = load_trace(path)
+        assert len(loaded.arrivals) == len(original.arrivals)
+        assert len(loaded.evictions) == len(original.evictions)
+        assert len(loaded.rejections) == len(original.rejections)
+        assert len(loaded.density_samples) == len(original.density_samples)
+
+    def test_eviction_details_preserved(self, recorded_run, tmp_path):
+        original = recorded_run.recorder
+        path = save_trace(original, tmp_path / "run.jsonl")
+        loaded = load_trace(path)
+        for a, b in zip(original.evictions, loaded.evictions):
+            assert a.t_evicted == b.t_evicted
+            assert a.importance_at_eviction == b.importance_at_eviction
+            assert a.obj.object_id == b.obj.object_id
+            assert a.obj.size == b.obj.size
+            assert a.obj.lifetime == b.obj.lifetime
+
+    def test_analyses_agree_on_reloaded_trace(self, recorded_run, tmp_path):
+        from repro.analysis.timeconstant import WINDOW_DAY, estimate_time_constants
+
+        original = recorded_run.recorder
+        path = save_trace(original, tmp_path / "run.jsonl")
+        loaded = load_trace(path)
+        a = estimate_time_constants(original.arrivals, gib(5), WINDOW_DAY)
+        b = estimate_time_constants(loaded.arrivals, gib(5), WINDOW_DAY)
+        assert a.points == b.points
+
+    def test_creates_parent_dirs(self, recorded_run, tmp_path):
+        path = save_trace(recorded_run.recorder, tmp_path / "deep" / "run.jsonl")
+        assert path.exists()
+
+
+class TestValidation:
+    def test_empty_file_rejected(self, tmp_path):
+        path = tmp_path / "empty.jsonl"
+        path.write_text("")
+        with pytest.raises(ReproError, match="empty"):
+            load_trace(path)
+
+    def test_bad_header_rejected(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        path.write_text(json.dumps({"kind": "header", "version": 99}) + "\n")
+        with pytest.raises(ReproError, match="unsupported header"):
+            load_trace(path)
+
+    def test_unknown_record_kind_rejected(self, tmp_path):
+        path = tmp_path / "weird.jsonl"
+        path.write_text(
+            json.dumps({"kind": "header", "version": 1}) + "\n"
+            + json.dumps({"kind": "mystery"}) + "\n"
+        )
+        with pytest.raises(ReproError, match="unknown record kind"):
+            load_trace(path)
+
+    def test_blank_lines_tolerated(self, tmp_path):
+        path = tmp_path / "gaps.jsonl"
+        path.write_text(json.dumps({"kind": "header", "version": 1}) + "\n\n\n")
+        recorder = load_trace(path)
+        assert recorder.arrivals == []

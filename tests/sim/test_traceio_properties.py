@@ -1,0 +1,106 @@
+"""Property-based round-trip tests for trace persistence (hypothesis)."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.importance import (
+    DiracImportance,
+    FixedLifetimeImportance,
+    TwoStepImportance,
+)
+from repro.core.obj import StoredObject
+from repro.core.density import DensitySample
+from repro.core.store import EvictionRecord, RejectionRecord
+from repro.sim.recorder import ArrivalRecord, Recorder
+from repro.sim.traceio import load_trace, save_trace
+
+unit = st.floats(min_value=0.0, max_value=1.0, allow_nan=False)
+t_minutes = st.floats(min_value=0.0, max_value=1e7, allow_nan=False)
+sizes = st.integers(min_value=1, max_value=10**12)
+names = st.text(
+    alphabet="abcdefghijklmnopqrstuvwxyz0123456789-_", min_size=1, max_size=24
+)
+
+
+@st.composite
+def lifetimes(draw):
+    kind = draw(st.integers(min_value=0, max_value=2))
+    if kind == 0:
+        return DiracImportance()
+    if kind == 1:
+        return FixedLifetimeImportance(p=draw(unit), expire_after=draw(t_minutes))
+    return TwoStepImportance(
+        p=draw(unit), t_persist=draw(t_minutes), t_wane=draw(t_minutes)
+    )
+
+
+@st.composite
+def objects(draw):
+    return StoredObject(
+        size=draw(sizes),
+        t_arrival=draw(t_minutes),
+        lifetime=draw(lifetimes()),
+        object_id=draw(names),
+        creator=draw(names),
+        metadata={"k": draw(names)},
+    )
+
+
+@st.composite
+def recorders(draw):
+    recorder = Recorder()
+    for i in range(draw(st.integers(min_value=0, max_value=6))):
+        recorder.arrivals.append(ArrivalRecord(
+            t=draw(t_minutes), size=draw(sizes), admitted=draw(st.booleans()),
+            creator=draw(names), object_id=f"a{i}", unit=draw(names),
+        ))
+    for _ in range(draw(st.integers(min_value=0, max_value=4))):
+        obj = draw(objects())
+        recorder.evictions.append(EvictionRecord(
+            obj=obj,
+            t_evicted=obj.t_arrival + draw(t_minutes),
+            importance_at_eviction=draw(unit),
+            reason=draw(st.sampled_from(["preempted", "expired", "manual"])),
+            preempted_by=draw(st.one_of(st.none(), names)),
+            unit=draw(names),
+        ))
+    for _ in range(draw(st.integers(min_value=0, max_value=4))):
+        recorder.rejections.append(RejectionRecord(
+            obj=draw(objects()),
+            t_rejected=draw(t_minutes),
+            blocking_importance=draw(st.one_of(st.none(), unit)),
+            reason=draw(names),
+            unit=draw(names),
+        ))
+    for _ in range(draw(st.integers(min_value=0, max_value=4))):
+        recorder.density_samples.append(DensitySample(
+            t=draw(t_minutes), density=draw(unit),
+            used_bytes=draw(sizes), capacity_bytes=draw(sizes),
+            resident_count=draw(st.integers(min_value=0, max_value=10**6)),
+        ))
+    return recorder
+
+
+@given(recorder=recorders())
+@settings(max_examples=60, deadline=None)
+def test_trace_round_trip_is_lossless(recorder, tmp_path_factory):
+    path = tmp_path_factory.mktemp("traces") / "t.jsonl"
+    loaded = load_trace(save_trace(recorder, path))
+
+    assert loaded.arrivals == recorder.arrivals
+    assert loaded.density_samples == recorder.density_samples
+    assert len(loaded.evictions) == len(recorder.evictions)
+    for a, b in zip(recorder.evictions, loaded.evictions):
+        assert (a.t_evicted, a.importance_at_eviction, a.reason,
+                a.preempted_by, a.unit) == (
+            b.t_evicted, b.importance_at_eviction, b.reason,
+            b.preempted_by, b.unit)
+        assert (a.obj.object_id, a.obj.size, a.obj.t_arrival,
+                a.obj.creator, a.obj.lifetime, dict(a.obj.metadata)) == (
+            b.obj.object_id, b.obj.size, b.obj.t_arrival,
+            b.obj.creator, b.obj.lifetime, dict(b.obj.metadata))
+    assert len(loaded.rejections) == len(recorder.rejections)
+    for a, b in zip(recorder.rejections, loaded.rejections):
+        assert (a.t_rejected, a.blocking_importance, a.reason, a.unit) == (
+            b.t_rejected, b.blocking_importance, b.reason, b.unit)
+        assert a.obj.lifetime == b.obj.lifetime

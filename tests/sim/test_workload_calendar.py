@@ -1,0 +1,116 @@
+"""Tests for the academic calendar and Table 1 lifetimes."""
+
+import pytest
+
+from repro.core.importance import TwoStepImportance
+from repro.errors import SimulationError
+from repro.sim.workload.calendar import (
+    PAPER_CALENDAR,
+    STUDENT_IMPORTANCE,
+    STUDENT_WANE_DAYS,
+    AcademicCalendar,
+    Term,
+    TermSpec,
+    student_lifetime_for_day,
+    university_lifetime_for_day,
+)
+from repro.units import days
+
+
+class TestTermSpec:
+    def test_contains_is_half_open(self):
+        spec = TermSpec(Term.SPRING, begin_doy=8, end_doy=120, wane_days=730.0)
+        assert spec.contains(8)
+        assert spec.contains(119)
+        assert not spec.contains(120)
+        assert not spec.contains(7)
+
+    def test_persist_days_matches_table1_rule(self):
+        spec = TermSpec(Term.SPRING, begin_doy=8, end_doy=120, wane_days=730.0)
+        assert spec.persist_days_from(8) == 112.0
+        assert spec.persist_days_from(100) == 20.0
+
+    def test_persist_outside_term_raises(self):
+        spec = TermSpec(Term.SPRING, begin_doy=8, end_doy=120, wane_days=730.0)
+        with pytest.raises(SimulationError):
+            spec.persist_days_from(130)
+
+    def test_rejects_inverted_boundaries(self):
+        with pytest.raises(SimulationError):
+            TermSpec(Term.FALL, begin_doy=300, end_doy=200, wane_days=1.0)
+
+
+class TestPaperCalendar:
+    def test_term_boundaries_match_table1(self):
+        specs = {s.term: s for s in PAPER_CALENDAR.specs}
+        assert specs[Term.SPRING].begin_doy == 8
+        assert specs[Term.SUMMER].begin_doy == 150
+        assert specs[Term.FALL].begin_doy == 248
+        assert specs[Term.SPRING].wane_days == 730.0
+        assert specs[Term.SUMMER].wane_days == 365.0
+        assert specs[Term.FALL].wane_days == 850.0
+
+    def test_breaks_have_no_term(self):
+        assert PAPER_CALENDAR.term_for_day(0) is None      # early January
+        assert PAPER_CALENDAR.term_for_day(130) is None    # May break
+        assert PAPER_CALENDAR.term_for_day(230) is None    # August break
+        assert PAPER_CALENDAR.term_for_day(362) is None    # year end
+
+    def test_day_of_year_wraps_across_years(self):
+        assert AcademicCalendar.day_of_year(days(370)) == 5
+        assert AcademicCalendar.day_of_year(days(730)) == 0
+
+    def test_class_days_follow_weekday_pattern_and_terms(self):
+        class_days = PAPER_CALENDAR.class_days(days(365))
+        assert class_days  # something is scheduled
+        for day in class_days:
+            assert day % 7 in (0, 2, 4)
+            assert PAPER_CALENDAR.in_session(day % 365)
+
+    def test_rejects_overlapping_terms(self):
+        with pytest.raises(SimulationError, match="overlap"):
+            AcademicCalendar(
+                (
+                    TermSpec(Term.SPRING, begin_doy=8, end_doy=150, wane_days=1.0),
+                    TermSpec(Term.SUMMER, begin_doy=100, end_doy=210, wane_days=1.0),
+                )
+            )
+
+    def test_rejects_empty_calendar(self):
+        with pytest.raises(SimulationError):
+            AcademicCalendar(())
+
+
+class TestLifetimes:
+    def test_university_lifetime_on_first_spring_day(self):
+        lifetime = university_lifetime_for_day(days(8))
+        assert lifetime == TwoStepImportance(
+            p=1.0, t_persist=days(112), t_wane=days(730)
+        )
+
+    def test_all_term_objects_stop_persisting_together(self):
+        # Captures on day 10 and day 100 both persist until day 120.
+        early = university_lifetime_for_day(days(10))
+        late = university_lifetime_for_day(days(100))
+        assert days(10) + early.t_persist == days(120)
+        assert days(100) + late.t_persist == days(120)
+
+    def test_second_year_uses_same_calendar(self):
+        lifetime = university_lifetime_for_day(days(365 + 8))
+        assert lifetime.t_persist == days(112)
+
+    def test_student_lifetime_parameters(self):
+        lifetime = student_lifetime_for_day(days(8))
+        assert lifetime.p == STUDENT_IMPORTANCE
+        assert lifetime.t_persist == days(112)
+        assert lifetime.t_wane == days(STUDENT_WANE_DAYS)
+
+    def test_break_day_raises(self):
+        with pytest.raises(SimulationError):
+            university_lifetime_for_day(days(130))
+        with pytest.raises(SimulationError):
+            student_lifetime_for_day(days(130))
+
+    def test_fall_wane_matches_table1(self):
+        lifetime = university_lifetime_for_day(days(250))
+        assert lifetime.t_wane == days(850)

@@ -1,0 +1,57 @@
+"""Tests for the Figure 8 download-trace synthesiser."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim.workload.downloads import DownloadTraceConfig, synthesize_download_trace
+
+
+class TestConfig:
+    def test_rejects_inverted_term(self):
+        with pytest.raises(SimulationError):
+            DownloadTraceConfig(term_begin_day=120, term_end_day=8)
+
+    def test_rejects_bad_decay(self):
+        with pytest.raises(SimulationError):
+            DownloadTraceConfig(decay=1.0)
+
+
+class TestTrace:
+    def test_deterministic_per_seed(self):
+        assert synthesize_download_trace(seed=5) == synthesize_download_trace(seed=5)
+        assert synthesize_download_trace(seed=5) != synthesize_download_trace(seed=6)
+
+    def test_covers_term_plus_tail(self):
+        cfg = DownloadTraceConfig()
+        trace = synthesize_download_trace(cfg, seed=0)
+        day_range = (trace[0][0], trace[-1][0])
+        assert day_range == (cfg.term_begin_day, cfg.term_end_day + cfg.trailing_days)
+
+    def test_counts_are_non_negative_ints(self):
+        for _day, count in synthesize_download_trace(seed=1):
+            assert isinstance(count, int)
+            assert count >= 0
+
+    def test_slashdot_burst_is_the_global_peak(self):
+        cfg = DownloadTraceConfig()
+        trace = synthesize_download_trace(cfg, seed=2)
+        peak_day, _peak = max(trace, key=lambda p: p[1])
+        assert cfg.slashdot_day <= peak_day < cfg.slashdot_day + cfg.slashdot_duration
+
+    def test_exam_review_boosts_demand(self):
+        cfg = DownloadTraceConfig(slashdot_extra=0.0)  # isolate the exam effect
+        trace = dict(synthesize_download_trace(cfg, seed=3))
+        exam = cfg.exam_days[1]
+        boosted = trace[exam]
+        # A quiet day a week before the exam window.
+        baseline = trace[exam - 7]
+        assert boosted > baseline
+
+    def test_demand_tails_off_after_term(self):
+        cfg = DownloadTraceConfig()
+        trace = dict(synthesize_download_trace(cfg, seed=4))
+        in_term = [trace[d] for d in range(cfg.term_begin_day + 20, cfg.term_end_day)
+                   if d in trace]
+        tail = [trace[d] for d in range(cfg.term_end_day + 20,
+                                        cfg.term_end_day + cfg.trailing_days)]
+        assert sum(tail) / max(1, len(tail)) < sum(in_term) / len(in_term)

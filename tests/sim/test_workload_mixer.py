@@ -1,0 +1,39 @@
+"""Tests for the arrival-stream merger."""
+
+from repro.sim.workload.mixer import merge_streams
+from repro.units import days
+from tests.conftest import make_obj
+
+
+class TestMergeStreams:
+    def test_merges_in_time_order(self):
+        a = [make_obj(1.0, t_arrival=days(d)) for d in (0, 4, 8)]
+        b = [make_obj(1.0, t_arrival=days(d)) for d in (1, 2, 9)]
+        merged = list(merge_streams([iter(a), iter(b)]))
+        times = [o.t_arrival for o in merged]
+        assert times == sorted(times)
+        assert len(merged) == 6
+
+    def test_ties_prefer_earlier_stream(self):
+        a = [make_obj(1.0, t_arrival=days(1), object_id="from-a")]
+        b = [make_obj(1.0, t_arrival=days(1), object_id="from-b")]
+        merged = list(merge_streams([iter(a), iter(b)]))
+        assert [o.object_id for o in merged] == ["from-a", "from-b"]
+
+    def test_handles_empty_streams(self):
+        a = [make_obj(1.0, t_arrival=0.0)]
+        assert len(list(merge_streams([iter([]), iter(a), iter([])]))) == 1
+        assert list(merge_streams([])) == []
+
+    def test_lazy_consumption(self):
+        consumed = []
+
+        def stream(tag, times):
+            for t in times:
+                consumed.append(tag)
+                yield make_obj(1.0, t_arrival=t)
+
+        merged = merge_streams([stream("a", [0.0, 100.0]), stream("b", [1.0])])
+        next(merged)
+        # Only the stream heads have been pulled plus one refill.
+        assert consumed.count("a") <= 2

@@ -1,0 +1,69 @@
+"""Tests for the read-request generator."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim.workload.downloads import DownloadTraceConfig
+from repro.sim.workload.readers import build_read_schedule
+from repro.units import MINUTES_PER_DAY
+
+RELEASES = [8 + d for d in range(0, 40, 2)]
+
+
+class TestBuildReadSchedule:
+    def test_requests_are_time_ordered(self):
+        reads = build_read_schedule(RELEASES, seed=1)
+        times = [r.t for r in reads]
+        assert times == sorted(times)
+        assert reads  # the default trace produces demand
+
+    def test_targets_are_released_lectures_only(self):
+        reads = build_read_schedule(RELEASES, seed=2)
+        for request in reads:
+            assert 0 <= request.lecture_index < len(RELEASES)
+            release_minute = RELEASES[request.lecture_index] * MINUTES_PER_DAY
+            assert request.t >= release_minute
+
+    def test_recency_bias_outside_review_windows(self):
+        cfg = DownloadTraceConfig(exam_days=(), slashdot_extra=0.0)
+        reads = build_read_schedule(RELEASES, config=cfg, seed=3)
+        # The most recent *available* release should be heavily favoured:
+        # excess age over the youngest readable lecture stays small.
+        last_release = max(RELEASES)
+        excess_ages = []
+        for request in reads:
+            day = request.t / MINUTES_PER_DAY
+            youngest = max(d for d in RELEASES if d < day)
+            if day > last_release + 1:
+                continue  # post-release tail: everything is old
+            excess_ages.append(
+                youngest - RELEASES[request.lecture_index]
+            )
+        assert excess_ages
+        assert sum(excess_ages) / len(excess_ages) < 8.0
+
+    def test_exam_windows_read_the_back_catalogue(self):
+        cfg = DownloadTraceConfig(slashdot_extra=0.0)
+        reads = build_read_schedule(RELEASES, config=cfg, seed=4)
+        exam = cfg.exam_days[1]
+        window = [
+            r for r in reads
+            if exam - cfg.review_window <= r.t / MINUTES_PER_DAY <= exam
+        ]
+        assert window
+        distinct = {r.lecture_index for r in window}
+        # Review touches a broad slice of everything released so far.
+        released_by_then = sum(1 for d in RELEASES if d <= exam)
+        assert len(distinct) > released_by_then / 2
+
+    def test_deterministic_per_seed(self):
+        a = build_read_schedule(RELEASES, seed=5)
+        b = build_read_schedule(RELEASES, seed=5)
+        assert a == b
+        assert a != build_read_schedule(RELEASES, seed=6)
+
+    def test_input_validation(self):
+        with pytest.raises(SimulationError):
+            build_read_schedule([])
+        with pytest.raises(SimulationError):
+            build_read_schedule([10, 5])
