@@ -1,10 +1,12 @@
-.PHONY: install test bench examples figures clean
+.PHONY: install test bench examples figures lint clean
 
 install:
 	pip install -e '.[test]'
 
+# Mirrors the tier-1 verify command: works from a clean checkout with no
+# editable install (PYTHONPATH picks up src/).
 test:
-	pytest tests/
+	PYTHONPATH=src$${PYTHONPATH:+:$$PYTHONPATH} python -m pytest -x -q
 
 bench:
 	pytest benchmarks/ --benchmark-only
@@ -12,13 +14,22 @@ bench:
 examples:
 	@for script in examples/*.py; do \
 		echo "== $$script =="; \
-		python $$script || exit 1; \
+		PYTHONPATH=src$${PYTHONPATH:+:$$PYTHONPATH} python $$script || exit 1; \
 		echo; \
 	done
 
 figures:
 	python -m repro run all
 
+lint:
+	@if command -v ruff >/dev/null 2>&1; then \
+		ruff check src tests benchmarks examples; \
+	else \
+		echo "ruff not installed (pip install -e '.[lint]'); skipping lint"; \
+	fi
+
+# Caches only — benchmarks/out holds committed reference output and must
+# survive a clean.
 clean:
-	rm -rf benchmarks/out .pytest_cache .hypothesis
+	rm -rf .pytest_cache .hypothesis .ruff_cache build dist src/*.egg-info
 	find . -name __pycache__ -type d -exec rm -rf {} +

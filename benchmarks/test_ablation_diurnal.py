@@ -22,7 +22,12 @@ from repro.core.policies.temporal import TemporalImportancePolicy
 from repro.core.store import StorageUnit
 from repro.sim.recorder import Recorder
 from repro.sim.runner import run_single_store
-from repro.sim.workload.diurnal import DiurnalModulation, OFFICE_HOURS_PROFILE, DiurnalProfile, semester_break_holidays
+from repro.sim.workload.diurnal import (
+    OFFICE_HOURS_PROFILE,
+    DiurnalModulation,
+    DiurnalProfile,
+    semester_break_holidays,
+)
 from repro.sim.workload.single_app import SingleAppWorkload
 from repro.units import days, gib
 

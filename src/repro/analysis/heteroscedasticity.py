@@ -13,7 +13,6 @@ profile that makes the effect visible in reports.
 
 from __future__ import annotations
 
-import math
 from dataclasses import dataclass
 from typing import Sequence
 

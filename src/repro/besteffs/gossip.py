@@ -26,6 +26,7 @@ from repro.besteffs.cluster import BesteffsCluster
 from repro.besteffs.walks import DEFAULT_WALK_LENGTH, sample_nodes
 from repro.core.density import importance_density
 from repro.errors import OverlayError
+from repro.obs import STATE as _OBS
 
 __all__ = ["sampled_density", "GossipAverager"]
 
@@ -55,7 +56,17 @@ def sampled_density(
         node = cluster.nodes[node_id]
         weighted += importance_density(node.store, now) * node.capacity_bytes
         capacity += node.capacity_bytes
-    return weighted / capacity if capacity else 0.0
+    estimate = weighted / capacity if capacity else 0.0
+    if _OBS.enabled:
+        registry = _OBS.registry
+        registry.counter(
+            "gossip_density_samples_total",
+            "Walk-sampled density estimates computed.",
+        ).inc()
+        registry.gauge(
+            "gossip_sampled_density", "Most recent walk-sampled density estimate."
+        ).set(estimate)
+    return estimate
 
 
 @dataclass
@@ -101,6 +112,7 @@ class GossipAverager:
 
     def round(self) -> None:
         """One synchronous push-pull round across all nodes."""
+        exchanges = 0
         order = sorted(self._states)
         self._rng.shuffle(order)
         for node_id in order:
@@ -108,6 +120,7 @@ class GossipAverager:
             if not neighbors:
                 continue
             peer = self._rng.choice(neighbors)
+            exchanges += 1
             a, b = self._states[node_id], self._states[peer]
             total = a.weight + b.weight
             if total == 0.0:
@@ -120,12 +133,26 @@ class GossipAverager:
             a.weight = half
             b.weight = half
         self.rounds += 1
+        if _OBS.enabled:
+            registry = _OBS.registry
+            registry.counter(
+                "gossip_rounds_total", "Push-pull gossip rounds executed."
+            ).inc()
+            registry.counter(
+                "gossip_exchanges_total",
+                "Pairwise estimate exchanges (gossip fan-out).",
+            ).inc(exchanges)
 
     def run(self, rounds: int) -> float:
         """Run ``rounds`` gossip rounds; returns the final spread."""
         for _ in range(rounds):
             self.round()
-        return self.spread()
+        spread = self.spread()
+        if _OBS.enabled:
+            _OBS.registry.gauge(
+                "gossip_spread", "Residual estimate spread after the last run."
+            ).set(spread)
+        return spread
 
     def spread(self) -> float:
         """Max absolute deviation of any node's estimate from the truth."""

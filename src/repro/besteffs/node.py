@@ -8,7 +8,7 @@ highest importance that admitting a given object would preempt.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from repro.core.obj import StoredObject
 from repro.core.policies.temporal import TemporalImportancePolicy

@@ -28,6 +28,7 @@ from repro.besteffs.overlay import Overlay
 from repro.besteffs.walks import DEFAULT_WALK_LENGTH, sample_nodes
 from repro.core.obj import StoredObject
 from repro.errors import PlacementError
+from repro.obs import COUNT_BUCKETS, IMPORTANCE_BUCKETS, STATE as _OBS
 
 __all__ = ["PlacementConfig", "PlacementDecision", "choose_unit"]
 
@@ -101,6 +102,52 @@ def choose_unit(
     walks (defaults to a uniformly random member, modelling the client's
     own desktop as the walk origin).
     """
+    if not _OBS.enabled:
+        return _choose_unit(
+            nodes, overlay, obj, now, config=config, rng=rng, start_node=start_node
+        )
+    with _OBS.tracer.span("besteffs.choose_unit", sim_time=now):
+        decision, node = _choose_unit(
+            nodes, overlay, obj, now, config=config, rng=rng, start_node=start_node
+        )
+    _record_decision(decision)
+    return decision, node
+
+
+def _record_decision(decision: PlacementDecision) -> None:
+    """Export one placement outcome to the metrics registry."""
+    registry = _OBS.registry
+    registry.counter(
+        "placement_decisions_total", "Placement outcomes by reason.", ("reason",)
+    ).inc(reason=decision.reason)
+    registry.histogram(
+        "placement_rounds_used",
+        "Sampling rounds consumed per placement.",
+        buckets=COUNT_BUCKETS,
+    ).observe(decision.rounds_used)
+    registry.histogram(
+        "placement_nodes_probed",
+        "Storage units probed per placement.",
+        buckets=COUNT_BUCKETS,
+    ).observe(decision.nodes_probed)
+    if decision.placed and decision.reason == "lowest-preempted":
+        registry.histogram(
+            "placement_preempted_importance",
+            "Highest preempted importance at the chosen unit.",
+            buckets=IMPORTANCE_BUCKETS,
+        ).observe(decision.chosen_score)
+
+
+def _choose_unit(
+    nodes: Mapping[str, BesteffsNode],
+    overlay: Overlay,
+    obj: StoredObject,
+    now: float,
+    *,
+    config: PlacementConfig,
+    rng: random.Random,
+    start_node: str | None,
+) -> tuple[PlacementDecision, BesteffsNode | None]:
     if not nodes:
         raise PlacementError("cannot place on an empty cluster")
     node_ids = overlay.node_ids

@@ -13,6 +13,7 @@ import random
 
 from repro.besteffs.overlay import Overlay
 from repro.errors import OverlayError
+from repro.obs import COUNT_BUCKETS, STATE as _OBS
 
 __all__ = ["random_walk", "sample_nodes"]
 
@@ -66,4 +67,19 @@ def sample_nodes(
         if endpoint not in seen:
             seen.add(endpoint)
             found.append(endpoint)
+    if _OBS.enabled:
+        registry = _OBS.registry
+        registry.counter(
+            "overlay_walks_total", "Random walks executed by the sampler."
+        ).inc(attempts)
+        registry.histogram(
+            "overlay_walk_length",
+            "Steps taken per random walk.",
+            buckets=COUNT_BUCKETS,
+        ).observe(walk_length)
+        registry.histogram(
+            "overlay_sample_attempts",
+            "Walks needed to collect the requested distinct units.",
+            buckets=COUNT_BUCKETS,
+        ).observe(attempts)
     return found

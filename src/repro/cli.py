@@ -4,15 +4,25 @@ Usage::
 
     repro-sim list
     repro-sim run fig3 [--horizon-days 365] [--seed 42] [--csv out.csv]
+    repro-sim run fig6 --metrics-out m.json --trace
     repro-sim run all
 
 Each experiment prints the same tables/ASCII charts its driver renders;
 ``--csv`` additionally dumps the primary series for external plotting.
+
+Observability (see ``docs/observability.md``): ``--metrics-out FILE``
+exports the :mod:`repro.obs` metrics registry after each experiment
+(JSON, or Prometheus text for ``.prom`` files), ``--trace`` prints span
+timings, and ``--log-level``/``--log-file`` emit structured JSONL events
+(to stderr when no file is given).  Any of these flags enables the
+instrumentation layer; without them it is entirely off.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
+import os
 import sys
 from typing import Any, Callable
 
@@ -300,7 +310,62 @@ def build_parser() -> argparse.ArgumentParser:
     run_parser.add_argument(
         "--csv", type=str, default=None, help="also write the primary series to CSV"
     )
+    run_parser.add_argument(
+        "--metrics-out",
+        type=str,
+        default=None,
+        metavar="FILE",
+        help="export the metrics registry per experiment (JSON; .prom for "
+        "Prometheus text)",
+    )
+    run_parser.add_argument(
+        "--trace",
+        action="store_true",
+        help="record wall-clock spans and print them after each experiment",
+    )
+    run_parser.add_argument(
+        "--log-level",
+        choices=["debug", "info", "warning", "error"],
+        default=None,
+        help="emit structured JSONL events at this level (default: off)",
+    )
+    run_parser.add_argument(
+        "--log-file",
+        type=str,
+        default=None,
+        metavar="FILE",
+        help="append JSONL events to FILE (default: stderr; implies "
+        "--log-level info)",
+    )
     return parser
+
+
+def _metrics_path(base: str, name: str, multiple: bool) -> str:
+    if not multiple:
+        return base
+    root, ext = os.path.splitext(base)
+    return f"{root}-{name}{ext or '.json'}"
+
+
+def _write_metrics(path: str, experiment: str, trace: bool) -> None:
+    from repro import obs
+
+    parent = os.path.dirname(path)
+    if parent:
+        os.makedirs(parent, exist_ok=True)
+    if path.endswith(".prom"):
+        with open(path, "w", encoding="utf-8") as fh:
+            fh.write(obs.STATE.registry.to_prometheus_text())
+        return
+    payload: dict[str, Any] = {
+        "experiment": experiment,
+        "metrics": obs.STATE.registry.to_dict(),
+    }
+    if trace:
+        payload["spans"] = obs.STATE.tracer.aggregates()
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(payload, fh, indent=2)
+        fh.write("\n")
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -312,23 +377,55 @@ def main(argv: list[str] | None = None) -> int:
         return 0
 
     names = list(EXPERIMENTS) if args.experiment == "all" else [args.experiment]
+    obs_requested = bool(
+        args.metrics_out or args.trace or args.log_level or args.log_file
+    )
+    if obs_requested:
+        from repro import obs
+
+        obs.reset()
+        obs.enable()
+        if args.log_level or args.log_file:
+            obs.configure_logging(
+                args.log_level or "info", args.log_file or sys.stderr
+            )
     requested_horizon = args.horizon_days
-    for name in names:
-        args.horizon_days = (
-            requested_horizon
-            if requested_horizon is not None
-            else 365.0
-            if name in {"fig2", "fig3", "fig4", "fig5", "fig6", "fig7"}
-            else None
-        )
-        _result, rendered, (headers, rows) = EXPERIMENTS[name](args)
-        print(f"== {name} ==")
-        print(rendered)
-        print()
-        if args.csv is not None:
-            path = args.csv if len(names) == 1 else f"{args.csv.rstrip('.csv')}-{name}.csv"
-            write_csv(path, headers, rows)
-            print(f"[csv written to {path}]")
+    try:
+        for name in names:
+            if obs_requested:
+                obs.STATE.registry.reset()
+                obs.STATE.tracer.reset()
+            args.horizon_days = (
+                requested_horizon
+                if requested_horizon is not None
+                else 365.0
+                if name in {"fig2", "fig3", "fig4", "fig5", "fig6", "fig7"}
+                else None
+            )
+            _result, rendered, (headers, rows) = EXPERIMENTS[name](args)
+            print(f"== {name} ==")
+            print(rendered)
+            print()
+            if args.csv is not None:
+                path = args.csv if len(names) == 1 else f"{args.csv.rstrip('.csv')}-{name}.csv"
+                write_csv(path, headers, rows)
+                print(f"[csv written to {path}]")
+            if obs_requested:
+                from repro.report.metrics import metrics_summary
+
+                print(metrics_summary(obs.STATE.registry))
+                print()
+                if args.trace:
+                    print(obs.STATE.tracer.render())
+                    print()
+                if args.metrics_out is not None:
+                    path = _metrics_path(args.metrics_out, name, len(names) > 1)
+                    _write_metrics(path, name, args.trace)
+                    print(f"[metrics written to {path}]")
+    finally:
+        if obs_requested:
+            obs.STATE.logger.close()
+            obs.disable()
     return 0
 
 

@@ -51,9 +51,15 @@ class FixedLifetimePolicy(EvictionPolicy):
             # Live residents block the arrival: the lowest live importance
             # is the level an incoming object would have to preempt, which
             # this policy never allows.
-            live = [o.importance_at(now) for o in store.iter_residents() if not o.is_expired_at(now)]
+            live = [
+                o.importance_at(now)
+                for o in store.iter_residents()
+                if not o.is_expired_at(now)
+            ]
             blocking = min(live) if live else None
             return AdmissionPlan(
                 admit=False, blocking_importance=blocking, reason="full-live-objects"
             )
-        return AdmissionPlan(admit=True, victims=victims, highest_preempted=0.0, reason="expired-only")
+        return AdmissionPlan(
+            admit=True, victims=victims, highest_preempted=0.0, reason="expired-only"
+        )

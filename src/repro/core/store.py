@@ -11,12 +11,13 @@ simulator and directly from library users' code.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Callable, Iterable, Iterator
+from dataclasses import dataclass
+from typing import Callable, Iterator
 
 from repro.core.obj import ObjectId, StoredObject
 from repro.core.policy import AdmissionPlan, EvictionPolicy
 from repro.errors import CapacityError, UnknownObjectError
+from repro.obs import COUNT_BUCKETS, STATE as _OBS
 
 __all__ = ["EvictionRecord", "RejectionRecord", "AdmissionResult", "StorageUnit"]
 
@@ -193,8 +194,11 @@ class StorageUnit:
                 self.rejections.append(rejection)
             if self.on_rejection is not None:
                 self.on_rejection(rejection)
+            if _OBS.enabled:
+                self._obs_offer(admitted=False, plan=plan, scanned=0, now=now)
             return AdmissionResult(admitted=False, plan=plan, rejection=rejection)
 
+        scanned = len(self._residents) if plan.victims else 0
         evictions = tuple(
             self._evict(victim, now, reason="preempted", preempted_by=obj.object_id)
             for victim in plan.victims
@@ -209,6 +213,8 @@ class StorageUnit:
         self._last_access[obj.object_id] = now
         self.accepted_count += 1
         self.bytes_accepted += obj.size
+        if _OBS.enabled:
+            self._obs_offer(admitted=True, plan=plan, scanned=scanned, now=now)
         return AdmissionResult(admitted=True, plan=plan, evictions=evictions)
 
     def peek_admission(self, obj: StoredObject, now: float) -> AdmissionPlan:
@@ -238,8 +244,18 @@ class StorageUnit:
         preempted — but delete-optimised deployments (Douglis et al.) sweep
         eagerly, and experiments use this to measure squatting.
         """
+        scanned = len(self._residents)
         expired = [o for o in self._residents.values() if o.is_expired_at(now)]
-        return tuple(self._evict(o, now, reason="expired", preempted_by=None) for o in expired)
+        records = tuple(self._evict(o, now, reason="expired", preempted_by=None) for o in expired)
+        if _OBS.enabled:
+            _OBS.registry.histogram(
+                "store_reclaim_scan_length",
+                "Residents examined per reclamation pass (admission planning or "
+                "expiry sweep).",
+                ("unit",),
+                buckets=COUNT_BUCKETS,
+            ).observe(scanned, unit=self.name)
+        return records
 
     def _evict(
         self,
@@ -264,11 +280,57 @@ class StorageUnit:
         )
         self.evicted_count += 1
         self.bytes_evicted += victim.size
+        if _OBS.enabled:
+            _OBS.registry.counter(
+                "store_evictions_total",
+                "Objects evicted from storage units.",
+                ("unit", "reason"),
+            ).inc(unit=self.name, reason=reason)
         if self.keep_history:
             self.evictions.append(record)
         if self.on_eviction is not None:
             self.on_eviction(record)
         return record
+
+    def _obs_offer(
+        self, *, admitted: bool, plan: AdmissionPlan, scanned: int, now: float
+    ) -> None:
+        """Record admission-path metrics; called only when obs is enabled."""
+        registry = _OBS.registry
+        registry.counter(
+            "store_admissions_total",
+            "Admission outcomes per storage unit.",
+            ("unit", "outcome"),
+        ).inc(unit=self.name, outcome="admitted" if admitted else "rejected")
+        registry.gauge(
+            "store_occupancy_ratio",
+            "Fraction of raw capacity occupied.",
+            ("unit",),
+        ).set(self._used_bytes / self.capacity_bytes, unit=self.name)
+        if admitted:
+            registry.histogram(
+                "store_preemption_depth",
+                "Victims preempted per admitted object.",
+                ("unit",),
+                buckets=COUNT_BUCKETS,
+            ).observe(len(plan.victims), unit=self.name)
+            if plan.victims:
+                registry.histogram(
+                    "store_reclaim_scan_length",
+                    "Residents examined per reclamation pass (admission planning "
+                    "or expiry sweep).",
+                    ("unit",),
+                    buckets=COUNT_BUCKETS,
+                ).observe(scanned, unit=self.name)
+        else:
+            _OBS.logger.debug(
+                "store",
+                "reject",
+                sim_time=now,
+                unit=self.name,
+                reason=plan.reason,
+                blocking_importance=plan.blocking_importance,
+            )
 
     def __repr__(self) -> str:
         return (

@@ -72,3 +72,8 @@ class OverlayError(ReproError):
 
 class VersioningError(ReproError):
     """A write-once versioning rule was violated (e.g. in-place update)."""
+
+
+class ObservabilityError(ReproError):
+    """The telemetry layer was misused (bad metric name, label mismatch,
+    conflicting re-registration, unknown log level, ...)."""

@@ -17,7 +17,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field, replace
 
-from repro.core.importance import DiracImportance, FixedLifetimeImportance, TwoStepImportance
+from repro.core.importance import DiracImportance, FixedLifetimeImportance
 from repro.core.policies import (
     FixedLifetimePolicy,
     PalimpsestPolicy,

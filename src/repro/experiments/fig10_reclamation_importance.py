@@ -113,9 +113,8 @@ def render(result: Fig10Result) -> str:
         title="Reclamation-importance summary (university objects)",
     )
     for (capacity, policy), minimum in sorted(result.min_importance.items()):
-        table.add_row(
-            [capacity, policy, round(minimum, 3), round(result.mean_importance[(capacity, policy)], 3)]
-        )
+        mean = result.mean_importance[(capacity, policy)]
+        table.add_row([capacity, policy, round(minimum, 3), round(mean, 3)])
     chunks.append(table.render())
     for capacity, frac in sorted(result.palimpsest_high_importance_fraction.items()):
         chunks.append(

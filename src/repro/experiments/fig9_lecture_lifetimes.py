@@ -117,7 +117,12 @@ def render(result: Fig9Result) -> str:
             )
         )
     table = TextTable(
-        ["capacity (GiB)", "creator", "mean achieved (d, temporal)", "mean achieved (d, palimpsest)"],
+        [
+            "capacity (GiB)",
+            "creator",
+            "mean achieved (d, temporal)",
+            "mean achieved (d, palimpsest)",
+        ],
         title="Achieved lifetimes by creator",
     )
     for (capacity, creator), mean in sorted(result.mean_days.items()):

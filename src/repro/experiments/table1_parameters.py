@@ -16,7 +16,6 @@ from repro.report.table import TextTable
 from repro.sim.workload.calendar import (
     PAPER_CALENDAR,
     AcademicCalendar,
-    TermSpec,
     university_lifetime_for_day,
 )
 from repro.units import days, to_days

@@ -18,7 +18,7 @@ lost when the estimate was too optimistic.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, replace
+from dataclasses import dataclass, replace
 from typing import Callable
 
 from repro.core.obj import ObjectId, StoredObject

@@ -1,0 +1,131 @@
+"""repro.obs — zero-dependency telemetry for the simulator and Besteffs.
+
+Three pillars, one switch:
+
+* :mod:`repro.obs.metrics` — Counter / Gauge / Histogram with label sets
+  on a :class:`MetricsRegistry`, exported as a dict or Prometheus text;
+* :mod:`repro.obs.tracing` — context-manager spans recording wall-clock
+  (``perf_counter``) durations and simulation time, with nested span
+  trees and exact per-label aggregates;
+* :mod:`repro.obs.log` — leveled JSONL event logging with component tags
+  and sim-time stamps, silent by default.
+
+Everything hangs off the process-global :data:`STATE`.  Instrumented hot
+paths guard on ``STATE.enabled`` — a single attribute load — so a run
+with observability disabled (the default) pays one boolean check per
+event and allocates nothing.  Enable it either programmatically::
+
+    from repro import obs
+
+    obs.enable()
+    ...  # run experiments
+    print(obs.STATE.registry.to_prometheus_text())
+    print(obs.STATE.tracer.render())
+
+or from the CLI (``repro-sim run fig6 --metrics-out m.json --trace``).
+
+Enabling mid-run is supported for everything except an in-flight
+:meth:`~repro.sim.engine.SimulationEngine.run` loop, which samples the
+flag once on entry.
+"""
+
+from __future__ import annotations
+
+from typing import IO
+
+from repro.obs.log import LEVELS, JsonlLogger
+from repro.obs.metrics import (
+    COUNT_BUCKETS,
+    DURATION_BUCKETS,
+    IMPORTANCE_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+)
+from repro.obs.tracing import SpanNode, SpanStats, Tracer
+
+__all__ = [
+    "COUNT_BUCKETS",
+    "DURATION_BUCKETS",
+    "IMPORTANCE_BUCKETS",
+    "LEVELS",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "JsonlLogger",
+    "MetricsRegistry",
+    "ObsState",
+    "STATE",
+    "SpanNode",
+    "SpanStats",
+    "Tracer",
+    "configure_logging",
+    "disable",
+    "enable",
+    "is_enabled",
+    "reset",
+]
+
+
+class ObsState:
+    """The process-global telemetry switchboard."""
+
+    __slots__ = ("enabled", "registry", "tracer", "logger")
+
+    def __init__(self) -> None:
+        self.enabled = False
+        self.registry = MetricsRegistry()
+        self.tracer = Tracer()
+        self.logger = JsonlLogger()
+
+
+#: Global state; hot paths read ``STATE.enabled`` directly.
+STATE = ObsState()
+
+
+def enable(
+    *,
+    registry: MetricsRegistry | None = None,
+    tracer: Tracer | None = None,
+    logger: JsonlLogger | None = None,
+) -> ObsState:
+    """Turn instrumentation on, optionally swapping in custom sinks.
+
+    Returns :data:`STATE` for chaining (``obs.enable().logger.set_level(...)``).
+    """
+    if registry is not None:
+        STATE.registry = registry
+    if tracer is not None:
+        STATE.tracer = tracer
+    if logger is not None:
+        STATE.logger = logger
+    STATE.enabled = True
+    return STATE
+
+
+def disable() -> None:
+    """Turn instrumentation off; collected data stays readable."""
+    STATE.enabled = False
+
+
+def is_enabled() -> bool:
+    """Whether instrumentation is currently active."""
+    return STATE.enabled
+
+
+def reset() -> None:
+    """Disable and discard all collected telemetry (fresh sinks)."""
+    STATE.enabled = False
+    STATE.registry = MetricsRegistry()
+    STATE.tracer = Tracer()
+    STATE.logger.close()
+    STATE.logger = JsonlLogger()
+
+
+def configure_logging(level: str = "info", sink: str | IO[str] | list | None = None) -> JsonlLogger:
+    """Convenience: set the global logger's level and sink in one call."""
+    STATE.logger.set_level(level)
+    if sink is not None:
+        STATE.logger.set_sink(sink)
+    return STATE.logger

@@ -1,0 +1,131 @@
+"""Structured JSONL event logging, silent by default.
+
+Every record is one JSON object per line carrying a level, a component
+tag (``"engine"``, ``"store"``, ``"placement"``...), an event name, the
+simulation time (when the emitter has one) and arbitrary extra fields::
+
+    {"seq": 3, "level": "info", "component": "runner", "event": "run-end",
+     "sim_time": 525600.0, "dispatched": 81342}
+
+No wall-clock timestamps are included, so a deterministic simulation
+produces byte-identical logs — which makes them diffable across runs and
+safe to assert on in tests.  The sink may be a file path (opened lazily,
+line-buffered), any file-like object, or a plain ``list`` that collects
+the decoded dicts (handy for tests and in-process consumers).
+"""
+
+from __future__ import annotations
+
+import io
+import json
+from typing import IO, Any
+
+from repro.errors import ObservabilityError
+
+__all__ = ["LEVELS", "JsonlLogger"]
+
+#: Symbolic levels; ``off`` silences everything (the default).
+LEVELS: dict[str, int] = {"debug": 10, "info": 20, "warning": 30, "error": 40, "off": 100}
+
+
+def _level_no(level: str) -> int:
+    try:
+        return LEVELS[level]
+    except KeyError:
+        raise ObservabilityError(
+            f"unknown log level {level!r}; pick one of {sorted(LEVELS)}"
+        ) from None
+
+
+class JsonlLogger:
+    """Leveled JSONL sink for simulation events."""
+
+    def __init__(self, level: str = "off", sink: str | IO[str] | list | None = None) -> None:
+        self._level_no = _level_no(level)
+        self.level = level
+        self._sink = sink
+        self._stream: IO[str] | None = None
+        self._owns_stream = False
+        self._seq = 0
+
+    # -- configuration ----------------------------------------------------
+
+    def set_level(self, level: str) -> None:
+        """Change the threshold; records below it are discarded."""
+        self._level_no = _level_no(level)
+        self.level = level
+
+    def set_sink(self, sink: str | IO[str] | list | None) -> None:
+        """Point the logger at a path, stream, list, or None (discard)."""
+        self.close()
+        self._sink = sink
+
+    def enabled_for(self, level: str) -> bool:
+        """Whether a record at ``level`` would be emitted."""
+        return _level_no(level) >= self._level_no and self._sink is not None
+
+    # -- emission ---------------------------------------------------------
+
+    def log(
+        self,
+        level: str,
+        component: str,
+        event: str,
+        *,
+        sim_time: float | None = None,
+        **fields: Any,
+    ) -> None:
+        """Emit one record if ``level`` clears the threshold."""
+        if _level_no(level) < self._level_no or self._sink is None:
+            return
+        record: dict[str, Any] = {
+            "seq": self._seq,
+            "level": level,
+            "component": component,
+            "event": event,
+        }
+        if sim_time is not None:
+            record["sim_time"] = sim_time
+        record.update(fields)
+        self._seq += 1
+        if isinstance(self._sink, list):
+            self._sink.append(record)
+            return
+        stream = self._ensure_stream()
+        stream.write(json.dumps(record, default=str) + "\n")
+
+    def debug(self, component: str, event: str, **fields: Any) -> None:
+        self.log("debug", component, event, **fields)
+
+    def info(self, component: str, event: str, **fields: Any) -> None:
+        self.log("info", component, event, **fields)
+
+    def warning(self, component: str, event: str, **fields: Any) -> None:
+        self.log("warning", component, event, **fields)
+
+    def error(self, component: str, event: str, **fields: Any) -> None:
+        self.log("error", component, event, **fields)
+
+    # -- lifecycle --------------------------------------------------------
+
+    def _ensure_stream(self) -> IO[str]:
+        if self._stream is None:
+            if isinstance(self._sink, (str, bytes)):
+                self._stream = io.open(self._sink, "a", encoding="utf-8", buffering=1)
+                self._owns_stream = True
+            else:
+                assert self._sink is not None and not isinstance(self._sink, list)
+                self._stream = self._sink
+                self._owns_stream = False
+        return self._stream
+
+    def flush(self) -> None:
+        if self._stream is not None:
+            self._stream.flush()
+
+    def close(self) -> None:
+        """Close a path-opened stream (never closes caller-owned streams)."""
+        if self._stream is not None and self._owns_stream:
+            self._stream.close()
+        self._stream = None
+        self._owns_stream = False

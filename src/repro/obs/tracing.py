@@ -1,0 +1,170 @@
+"""Span tracing: where does a simulated decade of wall-clock go?
+
+A :class:`Tracer` hands out context-manager *spans*.  Each span records
+its wall-clock duration (``time.perf_counter``) and, when provided, the
+simulation time at which it opened; spans nest, so a bounded tree of
+:class:`SpanNode` survives the run for drill-down while per-label
+aggregates (count / total / min / max) stay exact regardless of tree
+bounds.
+
+The sim is single-threaded, so nesting is a plain stack — no thread
+locals, no contextvars, no overhead beyond two ``perf_counter`` calls per
+span.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from time import perf_counter
+from typing import Iterator
+
+__all__ = ["SpanNode", "SpanStats", "Tracer"]
+
+
+@dataclass
+class SpanNode:
+    """One recorded span occurrence in the trace tree."""
+
+    label: str
+    sim_time: float | None = None
+    duration_s: float = 0.0
+    children: list["SpanNode"] = field(default_factory=list)
+
+    def walk(self, depth: int = 0) -> Iterator[tuple[int, "SpanNode"]]:
+        """Depth-first ``(depth, node)`` traversal of this subtree."""
+        yield depth, self
+        for child in self.children:
+            yield from child.walk(depth + 1)
+
+
+class SpanStats:
+    """Exact aggregate over every occurrence of one span label."""
+
+    __slots__ = ("count", "total_s", "min_s", "max_s")
+
+    def __init__(self) -> None:
+        self.count = 0
+        self.total_s = 0.0
+        self.min_s = float("inf")
+        self.max_s = 0.0
+
+    def observe(self, duration_s: float) -> None:
+        self.count += 1
+        self.total_s += duration_s
+        if duration_s < self.min_s:
+            self.min_s = duration_s
+        if duration_s > self.max_s:
+            self.max_s = duration_s
+
+    @property
+    def mean_s(self) -> float:
+        return self.total_s / self.count if self.count else 0.0
+
+    def as_dict(self) -> dict[str, float]:
+        return {
+            "count": float(self.count),
+            "total_s": self.total_s,
+            "mean_s": self.mean_s,
+            "min_s": self.min_s if self.count else 0.0,
+            "max_s": self.max_s,
+        }
+
+
+class Tracer:
+    """Collects nested spans and per-label wall-clock aggregates.
+
+    Parameters
+    ----------
+    keep_tree:
+        Retain the span tree (up to ``max_nodes`` nodes).  Aggregates are
+        always kept; the tree is for drill-down rendering.
+    max_nodes:
+        Tree-size bound; spans beyond it still aggregate but are not
+        attached to the tree (``dropped`` counts them).
+    """
+
+    def __init__(self, *, keep_tree: bool = True, max_nodes: int = 10_000) -> None:
+        self.keep_tree = keep_tree
+        self.max_nodes = max_nodes
+        self.roots: list[SpanNode] = []
+        self.dropped = 0
+        self._stack: list[SpanNode | None] = []
+        self._node_count = 0
+        self._aggregates: dict[str, SpanStats] = {}
+
+    @contextmanager
+    def span(self, label: str, *, sim_time: float | None = None) -> Iterator[SpanNode | None]:
+        """Open a span; yields the :class:`SpanNode` (None if tree-dropped)."""
+        node: SpanNode | None = None
+        if self.keep_tree and self._node_count < self.max_nodes:
+            node = SpanNode(label=label, sim_time=sim_time)
+            self._node_count += 1
+            parent = next((n for n in reversed(self._stack) if n is not None), None)
+            if parent is not None:
+                parent.children.append(node)
+            else:
+                self.roots.append(node)
+        elif self.keep_tree:
+            self.dropped += 1
+        self._stack.append(node)
+        start = perf_counter()
+        try:
+            yield node
+        finally:
+            duration = perf_counter() - start
+            self._stack.pop()
+            if node is not None:
+                node.duration_s = duration
+            stats = self._aggregates.get(label)
+            if stats is None:
+                stats = self._aggregates[label] = SpanStats()
+            stats.observe(duration)
+
+    # -- reporting --------------------------------------------------------
+
+    def aggregates(self) -> dict[str, dict[str, float]]:
+        """Per-label aggregate timings, as plain dicts (JSON-friendly)."""
+        return {label: stats.as_dict() for label, stats in sorted(self._aggregates.items())}
+
+    def stats(self, label: str) -> SpanStats | None:
+        """The aggregate for one label, or None."""
+        return self._aggregates.get(label)
+
+    def render(self, *, max_depth: int = 6, max_children: int = 20) -> str:
+        """Human-readable trace: aggregate table, then the span tree."""
+        lines = ["span aggregates (wall-clock):"]
+        if not self._aggregates:
+            lines.append("  (no spans recorded)")
+        width = max((len(label) for label in self._aggregates), default=0)
+        for label, stats in sorted(
+            self._aggregates.items(), key=lambda kv: -kv[1].total_s
+        ):
+            lines.append(
+                f"  {label.ljust(width)}  n={stats.count:<8d} total={stats.total_s:.6f}s "
+                f"mean={stats.mean_s:.6f}s max={stats.max_s:.6f}s"
+            )
+        if self.roots:
+            lines.append("span tree:")
+            for root in self.roots[:max_children]:
+                for depth, node in root.walk():
+                    if depth > max_depth:
+                        continue
+                    at = "" if node.sim_time is None else f" @t={node.sim_time:g}m"
+                    lines.append(
+                        f"  {'  ' * depth}{node.label}: {node.duration_s:.6f}s{at}"
+                    )
+            hidden = len(self.roots) - max_children
+            if hidden > 0:
+                lines.append(f"  ... {hidden} more root spans")
+        if self.dropped:
+            lines.append(f"  ({self.dropped} spans beyond the tree bound, aggregated only)")
+        return "\n".join(lines)
+
+    def reset(self) -> None:
+        """Drop all recorded spans and aggregates."""
+        self.roots.clear()
+        self._stack.clear()
+        self._aggregates.clear()
+        self._node_count = 0
+        self.dropped = 0

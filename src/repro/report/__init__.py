@@ -9,5 +9,13 @@ plotting.
 from repro.report.table import TextTable
 from repro.report.asciichart import ascii_plot, ascii_cdf, sparkline
 from repro.report.csvout import write_csv
+from repro.report.metrics import metrics_summary
 
-__all__ = ["TextTable", "ascii_cdf", "ascii_plot", "sparkline", "write_csv"]
+__all__ = [
+    "TextTable",
+    "ascii_cdf",
+    "ascii_plot",
+    "metrics_summary",
+    "sparkline",
+    "write_csv",
+]

@@ -1,0 +1,46 @@
+"""Render a metrics-registry summary as a text table.
+
+This is the ``repro.report`` face of :mod:`repro.obs`: after an
+instrumented experiment the CLI prints one row per metric series —
+counters and gauges show their value, histograms show count / mean / max
+— so a run's behaviour is visible without opening the JSON export.
+"""
+
+from __future__ import annotations
+
+from repro.obs.metrics import Counter, Gauge, Histogram, MetricsRegistry
+from repro.report.table import TextTable
+
+__all__ = ["metrics_summary"]
+
+
+def _series_label(metric, key: tuple[str, ...]) -> str:
+    if not metric.labelnames:
+        return metric.name
+    pairs = ",".join(f"{n}={v}" for n, v in zip(metric.labelnames, key))
+    return f"{metric.name}{{{pairs}}}"
+
+
+def metrics_summary(registry: MetricsRegistry, *, title: str = "Metrics summary") -> str:
+    """One aligned table over every series in ``registry``."""
+    table = TextTable(["metric", "type", "value"], title=title)
+    for name in registry.names():
+        metric = registry.get(name)
+        if isinstance(metric, Histogram):
+            for key, snap in sorted(metric.series().items()):
+                table.add_row(
+                    [
+                        _series_label(metric, key),
+                        metric.kind,
+                        (
+                            f"n={snap['count']} mean={snap['mean']:.4g} "
+                            f"max={snap['max']:.4g}"
+                        ),
+                    ]
+                )
+        elif isinstance(metric, (Counter, Gauge)):
+            for key, value in sorted(metric.series().items()):
+                table.add_row([_series_label(metric, key), metric.kind, f"{value:.6g}"])
+    if not table.rows:
+        table.add_row(["(no metrics recorded)", "", ""])
+    return table.render()

@@ -16,9 +16,11 @@ from __future__ import annotations
 import heapq
 import itertools
 import math
+from time import perf_counter
 from typing import Callable
 
 from repro.errors import SimulationError
+from repro.obs import STATE as _OBS
 from repro.sim.clock import SimClock
 from repro.sim.events import Event, EventCallback
 
@@ -110,12 +112,47 @@ class SimulationEngine:
         Returns the number of events dispatched by this call.  The clock is
         left at ``until_minutes`` (or at the stop point) so density probes
         taken after :meth:`run` see a consistent "end of horizon" time.
+
+        When :mod:`repro.obs` is enabled (sampled once on entry), the loop
+        runs under an ``engine.run`` span and per-event dispatch counters,
+        callback wall-time histograms and a queue-depth gauge are kept.
         """
         if until_minutes < self.clock.now:
             raise SimulationError(
                 f"cannot run until {until_minutes}, clock already at {self.clock.now}"
             )
         self._stopped = False
+        if not _OBS.enabled:
+            return self._dispatch_loop(
+                until_minutes, max_events, on_progress, progress_every, instrumented=False
+            )
+        with _OBS.tracer.span("engine.run", sim_time=self.clock.now):
+            return self._dispatch_loop(
+                until_minutes, max_events, on_progress, progress_every, instrumented=True
+            )
+
+    def _dispatch_loop(
+        self,
+        until_minutes: float,
+        max_events: int | None,
+        on_progress: Callable[[float, int], None] | None,
+        progress_every: int,
+        *,
+        instrumented: bool,
+    ) -> int:
+        if instrumented:
+            registry = _OBS.registry
+            events_total = registry.counter(
+                "engine_events_total", "Events dispatched by the engine.", ("label",)
+            )
+            callback_seconds = registry.histogram(
+                "engine_callback_seconds",
+                "Wall-clock time spent inside event callbacks.",
+                ("label",),
+            )
+            queue_depth = registry.gauge(
+                "engine_queue_depth", "Events pending in the engine heap."
+            )
         dispatched_here = 0
         while self._heap and not self._stopped:
             t, _prio, _seq, event = self._heap[0]
@@ -123,7 +160,15 @@ class SimulationEngine:
                 break
             heapq.heappop(self._heap)
             self.clock.advance_to(t)
-            event.callback(t)
+            if instrumented:
+                label = event.label or "unlabeled"
+                t0 = perf_counter()
+                event.callback(t)
+                callback_seconds.observe(perf_counter() - t0, label=label)
+                events_total.inc(label=label)
+                queue_depth.set(len(self._heap))
+            else:
+                event.callback(t)
             dispatched_here += 1
             self.dispatched += 1
             if max_events is not None and dispatched_here >= max_events:

@@ -17,6 +17,7 @@ from dataclasses import dataclass, field
 
 from repro.core.density import byte_importance_snapshot, importance_density
 from repro.core.store import StorageUnit
+from repro.obs import STATE as _OBS
 from repro.sim.engine import SimulationEngine
 from repro.sim.events import PRIORITY_PROBE
 from repro.sim.recorder import Recorder
@@ -80,6 +81,14 @@ class SnapshotTrigger:
             )
             self.triggered_at = now
             self.triggered_density = density
+            if _OBS.enabled:
+                _OBS.logger.info(
+                    "probes",
+                    "snapshot-trigger",
+                    sim_time=now,
+                    unit=self.store.name,
+                    density=density,
+                )
 
     def arm(
         self,

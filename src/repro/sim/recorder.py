@@ -23,6 +23,7 @@ from typing import Iterable
 
 from repro.core.density import DensitySample, importance_density
 from repro.core.store import EvictionRecord, RejectionRecord, StorageUnit
+from repro.obs import STATE as _OBS
 from repro.units import MINUTES_PER_DAY
 
 __all__ = ["ArrivalRecord", "Recorder"]
@@ -103,17 +104,36 @@ class Recorder:
         )
 
     def sample_density(self, now: float) -> None:
-        """Take one density sample per attached store."""
+        """Take one density sample per attached store.
+
+        When :mod:`repro.obs` is enabled, each sample also refreshes the
+        per-unit ``store_importance_density`` / ``store_occupancy_ratio``
+        gauges — the probe already pays for the density computation, so the
+        gauges come for free.
+        """
         for store in self._stores:
+            density = importance_density(store, now)
             self.density_samples.append(
                 DensitySample(
                     t=now,
-                    density=importance_density(store, now),
+                    density=density,
                     used_bytes=store.used_bytes,
                     capacity_bytes=store.capacity_bytes,
                     resident_count=store.resident_count,
                 )
             )
+            if _OBS.enabled:
+                registry = _OBS.registry
+                registry.gauge(
+                    "store_importance_density",
+                    "Instantaneous storage importance density.",
+                    ("unit",),
+                ).set(density, unit=store.name)
+                registry.gauge(
+                    "store_occupancy_ratio",
+                    "Fraction of raw capacity occupied.",
+                    ("unit",),
+                ).set(store.utilization(), unit=store.name)
 
     # -- derived series -------------------------------------------------------
 

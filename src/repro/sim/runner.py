@@ -14,6 +14,7 @@ from typing import Iterable, Iterator
 from repro.core.obj import StoredObject
 from repro.core.store import StorageUnit
 from repro.errors import SimulationError
+from repro.obs import STATE as _OBS
 from repro.sim.engine import SimulationEngine
 from repro.sim.probes import density_probe
 from repro.sim.recorder import Recorder
@@ -105,7 +106,28 @@ def run_single_store(
     if density_interval_minutes is not None:
         density_probe(engine, recorder, interval_minutes=density_interval_minutes)
     feed_arrivals(engine, store, arrivals, recorder, horizon_minutes=horizon_minutes)
-    engine.run(horizon_minutes)
+    if _OBS.enabled:
+        _OBS.logger.info(
+            "runner",
+            "run-start",
+            sim_time=engine.now,
+            store=store.name,
+            horizon_minutes=horizon_minutes,
+        )
+        with _OBS.tracer.span("runner.run_single_store", sim_time=engine.now):
+            dispatched = engine.run(horizon_minutes)
+        _OBS.logger.info(
+            "runner",
+            "run-end",
+            sim_time=engine.now,
+            store=store.name,
+            dispatched=dispatched,
+            accepted=store.accepted_count,
+            rejected=store.rejected_count,
+            evicted=store.evicted_count,
+        )
+    else:
+        engine.run(horizon_minutes)
     return ScenarioResult(
         engine=engine, store=store, recorder=recorder, horizon_minutes=horizon_minutes
     )

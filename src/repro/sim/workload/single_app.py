@@ -25,7 +25,7 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass, field
-from typing import Iterator, Sequence
+from typing import Iterator
 
 from repro.core.importance import ImportanceFunction, TwoStepImportance
 from repro.core.obj import StoredObject

@@ -22,7 +22,7 @@ from repro.core.importance import (
     StepWaneImportance,
     TwoStepImportance,
 )
-from repro.units import days, gib
+from repro.units import days
 from tests.conftest import make_obj
 
 

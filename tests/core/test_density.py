@@ -8,7 +8,7 @@ from repro.core.density import (
     importance_density,
     importance_histogram,
 )
-from repro.core.importance import DiracImportance, TwoStepImportance
+from repro.core.importance import DiracImportance
 from repro.core.policies.temporal import TemporalImportancePolicy
 from repro.core.store import StorageUnit
 from repro.units import days, gib

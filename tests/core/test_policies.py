@@ -1,7 +1,5 @@
 """Unit tests for the policy family (the paper's three + baselines)."""
 
-import pytest
-
 from repro.core.importance import DiracImportance, FixedLifetimeImportance
 from repro.core.policies import (
     FIFOPolicy,

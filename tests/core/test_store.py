@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.core.importance import FixedLifetimeImportance, TwoStepImportance
+from repro.core.importance import FixedLifetimeImportance
 from repro.core.policies.temporal import TemporalImportancePolicy
 from repro.core.store import StorageUnit
 from repro.errors import CapacityError, UnknownObjectError

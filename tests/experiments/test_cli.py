@@ -1,7 +1,10 @@
 """Tests for the command-line interface."""
 
+import json
+
 import pytest
 
+from repro import obs
 from repro.cli import EXPERIMENTS, build_parser, main
 
 
@@ -58,3 +61,79 @@ class TestRun:
         out = capsys.readouterr().out
         for name in ("ext-mixed", "ext-churn", "ext-refresh"):
             assert name in out
+
+
+class TestObservability:
+    """The --metrics-out / --trace / --log-* flags (acceptance criteria)."""
+
+    @pytest.fixture(autouse=True)
+    def _fresh_obs(self):
+        obs.reset()
+        yield
+        obs.reset()
+
+    def test_fig6_metrics_export_schema(self, tmp_path, capsys):
+        out_path = tmp_path / "m.json"
+        assert main([
+            "run", "fig6", "--horizon-days", "60",
+            "--metrics-out", str(out_path), "--trace",
+        ]) == 0
+        payload = json.loads(out_path.read_text())
+        assert payload["experiment"] == "fig6"
+        metrics = payload["metrics"]
+        # Engine event counts.
+        events = metrics["engine_events_total"]
+        assert events["type"] == "counter"
+        labels = {s["labels"]["label"] for s in events["series"]}
+        assert "arrival" in labels and "density-probe" in labels
+        # Store admission/eviction counters.
+        admissions = metrics["store_admissions_total"]
+        assert any(s["value"] > 0 for s in admissions["series"])
+        evictions = metrics["store_evictions_total"]
+        assert any(
+            s["labels"]["reason"] == "preempted" and s["value"] > 0
+            for s in evictions["series"]
+        )
+        # At least one histogram, including the reclaim scan length.
+        scan = metrics["store_reclaim_scan_length"]
+        assert scan["type"] == "histogram"
+        assert any(s["count"] > 0 for s in scan["series"])
+        # --trace adds span aggregates.
+        assert payload["spans"]["engine.run"]["count"] >= 1.0
+        out = capsys.readouterr().out
+        assert "Metrics summary" in out
+        assert "span aggregates" in out
+        assert "metrics written" in out
+
+    def test_prometheus_text_export(self, tmp_path):
+        out_path = tmp_path / "m.prom"
+        assert main([
+            "run", "fig6", "--horizon-days", "10", "--metrics-out", str(out_path),
+        ]) == 0
+        text = out_path.read_text()
+        assert "# TYPE engine_events_total counter" in text
+        assert 'engine_events_total{label="arrival"}' in text
+        assert "# TYPE store_preemption_depth histogram" in text
+
+    def test_log_file_collects_jsonl(self, tmp_path):
+        log_path = tmp_path / "events.jsonl"
+        assert main([
+            "run", "fig6", "--horizon-days", "10",
+            "--log-level", "info", "--log-file", str(log_path),
+        ]) == 0
+        records = [json.loads(line) for line in log_path.read_text().splitlines()]
+        assert any(r["event"] == "run-start" for r in records)
+        assert any(r["event"] == "run-end" for r in records)
+        assert all("component" in r and "level" in r for r in records)
+
+    def test_obs_flags_leave_state_disabled_afterwards(self, tmp_path):
+        assert main([
+            "run", "fig6", "--horizon-days", "10",
+            "--metrics-out", str(tmp_path / "m.json"),
+        ]) == 0
+        assert not obs.is_enabled()
+
+    def test_without_flags_obs_stays_off(self, capsys):
+        assert main(["run", "fig6", "--horizon-days", "10"]) == 0
+        assert len(obs.STATE.registry) == 0
+        assert "Metrics summary" not in capsys.readouterr().out

@@ -5,7 +5,7 @@ import pytest
 from repro.core.importance import ConstantImportance, TwoStepImportance
 from repro.core.policies.temporal import TemporalImportancePolicy
 from repro.core.store import StorageUnit
-from repro.errors import CapacityError, UnknownObjectError
+from repro.errors import UnknownObjectError
 from repro.ext.reannotate import reannotate
 from repro.units import days, gib
 from tests.conftest import make_obj

@@ -1,0 +1,12 @@
+"""Obs-test hygiene: every test starts and ends with telemetry off."""
+
+import pytest
+
+from repro import obs
+
+
+@pytest.fixture(autouse=True)
+def _fresh_obs_state():
+    obs.reset()
+    yield
+    obs.reset()

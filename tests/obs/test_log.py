@@ -1,0 +1,89 @@
+"""Unit tests for the JSONL logger."""
+
+import json
+
+import pytest
+
+from repro.errors import ObservabilityError
+from repro.obs.log import JsonlLogger
+
+
+class TestLevels:
+    def test_silent_by_default(self):
+        events = []
+        logger = JsonlLogger(sink=events)  # level defaults to "off"
+        logger.error("store", "reject")
+        assert events == []
+
+    def test_level_filtering(self):
+        events = []
+        logger = JsonlLogger(level="warning", sink=events)
+        logger.debug("c", "d")
+        logger.info("c", "i")
+        logger.warning("c", "w")
+        logger.error("c", "e")
+        assert [r["event"] for r in events] == ["w", "e"]
+
+    def test_unknown_level_raises(self):
+        with pytest.raises(ObservabilityError):
+            JsonlLogger(level="verbose")
+        with pytest.raises(ObservabilityError):
+            JsonlLogger().log("loud", "c", "e")
+
+    def test_enabled_for(self):
+        logger = JsonlLogger(level="info", sink=[])
+        assert logger.enabled_for("error")
+        assert not logger.enabled_for("debug")
+        assert not JsonlLogger(level="info").enabled_for("error")  # no sink
+
+
+class TestRecords:
+    def test_record_shape_and_sequence(self):
+        events = []
+        logger = JsonlLogger(level="debug", sink=events)
+        logger.info("runner", "run-start", sim_time=0.0, store="d0")
+        logger.debug("store", "reject", sim_time=5.0, reason="full")
+        assert events[0] == {
+            "seq": 0,
+            "level": "info",
+            "component": "runner",
+            "event": "run-start",
+            "sim_time": 0.0,
+            "store": "d0",
+        }
+        assert events[1]["seq"] == 1
+        assert "sim_time" in events[1]
+
+    def test_sim_time_omitted_when_absent(self):
+        events = []
+        JsonlLogger(level="info", sink=events).info("c", "e")
+        assert "sim_time" not in events[0]
+
+    def test_writes_jsonl_to_path(self, tmp_path):
+        path = tmp_path / "events.jsonl"
+        logger = JsonlLogger(level="info", sink=str(path))
+        logger.info("probes", "snapshot-trigger", sim_time=1440.0, density=0.83)
+        logger.info("runner", "run-end")
+        logger.close()
+        lines = path.read_text().splitlines()
+        assert len(lines) == 2
+        first = json.loads(lines[0])
+        assert first["component"] == "probes"
+        assert first["density"] == 0.83
+
+    def test_writes_to_stream(self, tmp_path):
+        path = tmp_path / "stream.jsonl"
+        with open(path, "w") as fh:
+            logger = JsonlLogger(level="info", sink=fh)
+            logger.info("c", "e")
+            logger.flush()
+        assert json.loads(path.read_text())["event"] == "e"
+
+    def test_set_sink_switches_target(self, tmp_path):
+        first, second = [], []
+        logger = JsonlLogger(level="info", sink=first)
+        logger.info("c", "one")
+        logger.set_sink(second)
+        logger.info("c", "two")
+        assert [r["event"] for r in first] == ["one"]
+        assert [r["event"] for r in second] == ["two"]

@@ -1,0 +1,165 @@
+"""Unit tests for the metrics registry."""
+
+import pytest
+
+from repro.errors import ObservabilityError
+from repro.obs.metrics import (
+    COUNT_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+)
+
+
+class TestCounter:
+    def test_starts_at_zero_and_accumulates(self):
+        c = Counter("requests_total", labelnames=("outcome",))
+        assert c.value(outcome="ok") == 0.0
+        c.inc(outcome="ok")
+        c.inc(2.5, outcome="ok")
+        assert c.value(outcome="ok") == 3.5
+        assert c.value(outcome="err") == 0.0
+
+    def test_cannot_decrease(self):
+        c = Counter("requests_total")
+        with pytest.raises(ObservabilityError):
+            c.inc(-1.0)
+
+    def test_label_mismatch_raises(self):
+        c = Counter("requests_total", labelnames=("outcome",))
+        with pytest.raises(ObservabilityError):
+            c.inc()  # missing label
+        with pytest.raises(ObservabilityError):
+            c.inc(outcome="ok", extra="nope")
+        with pytest.raises(ObservabilityError):
+            c.inc(wrong="ok")
+
+    def test_invalid_names_rejected(self):
+        with pytest.raises(ObservabilityError):
+            Counter("bad name")
+        with pytest.raises(ObservabilityError):
+            Counter("ok_name", labelnames=("bad-label",))
+
+
+class TestGauge:
+    def test_set_inc_dec(self):
+        g = Gauge("queue_depth")
+        g.set(10)
+        g.inc(5)
+        g.dec(3)
+        assert g.value() == 12.0
+
+    def test_labelled_series_are_independent(self):
+        g = Gauge("occupancy", labelnames=("unit",))
+        g.set(0.5, unit="a")
+        g.set(0.9, unit="b")
+        assert g.value(unit="a") == 0.5
+        assert g.value(unit="b") == 0.9
+
+
+class TestHistogram:
+    def test_snapshot_summary(self):
+        h = Histogram("depth", buckets=(1.0, 5.0, 10.0))
+        for v in (0, 1, 2, 7, 20):
+            h.observe(v)
+        snap = h.snapshot()
+        assert snap["count"] == 5
+        assert snap["sum"] == 30.0
+        assert snap["mean"] == 6.0
+        assert snap["min"] == 0.0
+        assert snap["max"] == 20.0
+        # cumulative bucket counts: <=1 -> 2, <=5 -> 3, <=10 -> 4, +Inf -> 5
+        assert snap["buckets"] == {"1.0": 2, "5.0": 3, "10.0": 4, "+Inf": 5}
+
+    def test_empty_snapshot(self):
+        h = Histogram("depth")
+        assert h.snapshot()["count"] == 0
+
+    def test_needs_buckets(self):
+        with pytest.raises(ObservabilityError):
+            Histogram("depth", buckets=())
+        with pytest.raises(ObservabilityError):
+            Histogram("depth", buckets=(1.0, 1.0))
+
+
+class TestRegistry:
+    def test_get_or_create_returns_same_instance(self):
+        reg = MetricsRegistry()
+        a = reg.counter("hits_total", "help", ("unit",))
+        b = reg.counter("hits_total", "other help ignored", ("unit",))
+        assert a is b
+
+    def test_kind_conflict_raises(self):
+        reg = MetricsRegistry()
+        reg.counter("x_total")
+        with pytest.raises(ObservabilityError):
+            reg.gauge("x_total")
+        with pytest.raises(ObservabilityError):
+            reg.histogram("x_total")
+
+    def test_label_conflict_raises(self):
+        reg = MetricsRegistry()
+        reg.counter("x_total", labelnames=("a",))
+        with pytest.raises(ObservabilityError):
+            reg.counter("x_total", labelnames=("b",))
+
+    def test_bucket_conflict_raises(self):
+        reg = MetricsRegistry()
+        reg.histogram("h", buckets=(1.0, 2.0))
+        reg.histogram("h")  # no buckets specified: reuses existing
+        with pytest.raises(ObservabilityError):
+            reg.histogram("h", buckets=(1.0, 3.0))
+
+    def test_reset_drops_everything(self):
+        reg = MetricsRegistry()
+        reg.counter("x_total").inc()
+        reg.reset()
+        assert len(reg) == 0
+        assert reg.get("x_total") is None
+
+    def test_to_dict_schema(self):
+        reg = MetricsRegistry()
+        reg.counter("events_total", "Events.", ("label",)).inc(3, label="arrival")
+        reg.gauge("depth", "Depth.").set(7)
+        reg.histogram("scan", "Scan.", ("unit",), buckets=COUNT_BUCKETS).observe(
+            4, unit="d0"
+        )
+        out = reg.to_dict()
+        assert set(out) == {"events_total", "depth", "scan"}
+        counter = out["events_total"]
+        assert counter["type"] == "counter"
+        assert counter["labelnames"] == ["label"]
+        assert counter["series"] == [{"labels": {"label": "arrival"}, "value": 3.0}]
+        gauge = out["depth"]
+        assert gauge["series"] == [{"labels": {}, "value": 7.0}]
+        hist = out["scan"]
+        assert hist["type"] == "histogram"
+        (series,) = hist["series"]
+        assert series["labels"] == {"unit": "d0"}
+        assert series["count"] == 1
+        assert series["mean"] == 4.0
+        assert series["buckets"]["+Inf"] == 1
+
+    def test_prometheus_text(self):
+        reg = MetricsRegistry()
+        reg.counter("events_total", "Events dispatched.", ("label",)).inc(
+            2, label="arrival"
+        )
+        reg.histogram("scan", buckets=(1.0, 5.0)).observe(3.0)
+        text = reg.to_prometheus_text()
+        assert "# HELP events_total Events dispatched." in text
+        assert "# TYPE events_total counter" in text
+        assert 'events_total{label="arrival"} 2.0' in text
+        assert "# TYPE scan histogram" in text
+        assert 'scan_bucket{le="1.0"} 0' in text
+        assert 'scan_bucket{le="5.0"} 1' in text
+        assert 'scan_bucket{le="+Inf"} 1' in text
+        assert "scan_sum 3.0" in text
+        assert "scan_count 1" in text
+
+    def test_prometheus_label_escaping(self):
+        reg = MetricsRegistry()
+        reg.counter("c_total", labelnames=("name",)).inc(name='with"quote')
+        text = reg.to_prometheus_text()
+        assert r'c_total{name="with\"quote"} 1.0' in text

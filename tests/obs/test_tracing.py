@@ -1,0 +1,85 @@
+"""Unit tests for span tracing."""
+
+from repro.obs.tracing import Tracer
+
+
+class TestSpans:
+    def test_nested_spans_build_a_tree(self):
+        tracer = Tracer()
+        with tracer.span("outer", sim_time=0.0):
+            with tracer.span("inner"):
+                pass
+            with tracer.span("inner"):
+                pass
+        assert len(tracer.roots) == 1
+        root = tracer.roots[0]
+        assert root.label == "outer"
+        assert root.sim_time == 0.0
+        assert [c.label for c in root.children] == ["inner", "inner"]
+        assert root.duration_s >= sum(c.duration_s for c in root.children) >= 0.0
+
+    def test_aggregates_count_every_occurrence(self):
+        tracer = Tracer()
+        for _ in range(3):
+            with tracer.span("work"):
+                pass
+        stats = tracer.stats("work")
+        assert stats is not None
+        assert stats.count == 3
+        assert stats.total_s >= stats.max_s >= stats.min_s >= 0.0
+        agg = tracer.aggregates()["work"]
+        assert agg["count"] == 3.0
+        assert agg["mean_s"] == stats.total_s / 3
+
+    def test_exception_still_closes_span(self):
+        tracer = Tracer()
+        try:
+            with tracer.span("boom"):
+                raise ValueError("x")
+        except ValueError:
+            pass
+        assert tracer.stats("boom").count == 1
+        assert tracer.roots[0].duration_s >= 0.0
+
+    def test_tree_bound_keeps_aggregates_exact(self):
+        tracer = Tracer(max_nodes=2)
+        for _ in range(5):
+            with tracer.span("s"):
+                pass
+        assert len(tracer.roots) == 2
+        assert tracer.dropped == 3
+        assert tracer.stats("s").count == 5
+
+    def test_keep_tree_false_records_no_nodes(self):
+        tracer = Tracer(keep_tree=False)
+        with tracer.span("s"):
+            pass
+        assert tracer.roots == []
+        assert tracer.dropped == 0
+        assert tracer.stats("s").count == 1
+
+    def test_walk_yields_depths(self):
+        tracer = Tracer()
+        with tracer.span("a"):
+            with tracer.span("b"):
+                with tracer.span("c"):
+                    pass
+        depths = [(d, n.label) for d, n in tracer.roots[0].walk()]
+        assert depths == [(0, "a"), (1, "b"), (2, "c")]
+
+    def test_render_mentions_labels_and_counts(self):
+        tracer = Tracer()
+        with tracer.span("engine.run", sim_time=42.0):
+            pass
+        text = tracer.render()
+        assert "engine.run" in text
+        assert "n=1" in text
+        assert "@t=42m" in text
+
+    def test_reset(self):
+        tracer = Tracer()
+        with tracer.span("s"):
+            pass
+        tracer.reset()
+        assert tracer.roots == []
+        assert tracer.aggregates() == {}

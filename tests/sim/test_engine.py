@@ -140,3 +140,39 @@ class TestPeriodic:
         engine.schedule_periodic(50.0, 10.0, log.append, end_minutes=40.0)
         engine.run(100.0)
         assert log == []
+
+    def test_fires_exactly_at_end_boundary(self):
+        # A firing landing exactly on end_minutes happens; the next one
+        # (end + interval) is past the boundary and is never armed.
+        engine = SimulationEngine()
+        log = []
+        engine.schedule_periodic(0.0, 10.0, log.append, end_minutes=30.0)
+        engine.run(100.0)
+        assert log == [0.0, 10.0, 20.0, 30.0]
+        assert engine.pending == 0
+
+    def test_stop_mid_run_halts_rearming(self):
+        engine = SimulationEngine()
+        log = []
+
+        def tick(now):
+            log.append(now)
+            if now >= 20.0:
+                engine.stop()
+
+        engine.schedule_periodic(0.0, 10.0, tick)
+        engine.run(100.0)
+        assert log == [0.0, 10.0, 20.0]
+        # The stopped schedule never re-armed: nothing left in the heap,
+        # so resuming the engine does not resurrect it.
+        assert engine.pending == 0
+        engine.run(200.0)
+        assert log == [0.0, 10.0, 20.0]
+
+    def test_nan_interval_raises(self):
+        with pytest.raises(SimulationError):
+            SimulationEngine().schedule_periodic(0.0, float("nan"), lambda t: None)
+
+    def test_negative_interval_raises(self):
+        with pytest.raises(SimulationError):
+            SimulationEngine().schedule_periodic(0.0, -5.0, lambda t: None)

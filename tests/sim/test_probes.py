@@ -64,3 +64,35 @@ class TestSnapshotTrigger:
         engine.run(days(2))
         assert trigger.snapshot is not None
         assert trigger.snapshot[-1][0] == 1.0
+
+    def test_armed_trigger_fires_once_across_periodic_samples(self):
+        # Density stays inside the band on every daily sample; only the
+        # first entry captures (single-fire semantics).
+        store = StorageUnit(gib(2), TemporalImportancePolicy())
+        store.offer(make_obj(1.0), 0.0)  # density 0.5 throughout the persist
+        engine = SimulationEngine()
+        trigger = SnapshotTrigger(store, low=0.4, high=0.6).arm(
+            engine, interval_minutes=days(1)
+        )
+        engine.run(days(5))
+        assert trigger.triggered_at == 0.0
+        first = trigger.snapshot
+        assert first is not None
+        engine.run(days(8))  # more in-band samples
+        assert trigger.snapshot is first
+        assert trigger.triggered_at == 0.0
+
+    def test_armed_trigger_waits_for_band_entry(self):
+        # The store starts empty (density 0, outside the band); the probe
+        # must fire on the first sample after the band is entered.
+        store = StorageUnit(gib(2), TemporalImportancePolicy())
+        engine = SimulationEngine()
+        trigger = SnapshotTrigger(store, low=0.4, high=0.6).arm(
+            engine, interval_minutes=days(1)
+        )
+        engine.schedule_at(
+            days(1.5), lambda t: store.offer(make_obj(1.0, t_arrival=t), t)
+        )
+        engine.run(days(4))
+        assert trigger.triggered_at == days(2)
+        assert trigger.triggered_density == 0.5

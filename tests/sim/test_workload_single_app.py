@@ -63,7 +63,8 @@ class TestSingleAppWorkload:
             assert workload.min_object_bytes <= obj.size <= gib(0.5)
 
     def test_duty_cycle_thins_arrivals(self):
-        dense = sum(1 for _ in SingleAppWorkload(seed=5, arrival_probability=1.0).arrivals(days(30)))
+        always_on = SingleAppWorkload(seed=5, arrival_probability=1.0)
+        dense = sum(1 for _ in always_on.arrivals(days(30)))
         sparse = sum(1 for _ in SingleAppWorkload(seed=5).arrivals(days(30)))
         assert dense == 30 * 24 + 1
         assert sparse < dense / 2
