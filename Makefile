@@ -1,15 +1,34 @@
-.PHONY: install test bench examples figures lint clean
+.PHONY: install test unit obs-smoke bench bench-baseline bench-check examples figures lint clean
 
 install:
 	pip install -e '.[test]'
 
+# Default gate: lint, the tier-1 suite, and an instrumented smoke run.
+test: lint unit obs-smoke
+
 # Mirrors the tier-1 verify command: works from a clean checkout with no
 # editable install (PYTHONPATH picks up src/).
-test:
+unit:
 	PYTHONPATH=src$${PYTHONPATH:+:$$PYTHONPATH} python -m pytest -x -q
 
+# End-to-end observability smoke: metrics + tracing + time series + logs.
+obs-smoke:
+	PYTHONPATH=src$${PYTHONPATH:+:$$PYTHONPATH} python examples/obs_demo.py >/dev/null
+	@echo "obs smoke OK"
+
 bench:
-	pytest benchmarks/ --benchmark-only
+	PYTHONPATH=src$${PYTHONPATH:+:$$PYTHONPATH} pytest benchmarks/ --benchmark-only
+
+# Perf-regression harness: record BENCH_*.json baselines, then gate future
+# runs on wall-time (+tolerance) and artifact checksums.  See
+# benchmarks/conftest.py.
+bench-baseline:
+	PYTHONPATH=src$${PYTHONPATH:+:$$PYTHONPATH} pytest benchmarks/ -q \
+		--benchmark-disable --bench-json benchmarks/baselines
+
+bench-check:
+	PYTHONPATH=src$${PYTHONPATH:+:$$PYTHONPATH} pytest benchmarks/ -q \
+		--benchmark-disable --bench-check benchmarks/baselines
 
 examples:
 	@for script in examples/*.py; do \

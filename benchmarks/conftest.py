@@ -1,4 +1,4 @@
-"""Benchmark-suite configuration.
+"""Benchmark-suite configuration and the perf-regression harness.
 
 Each benchmark regenerates one paper table/figure: it runs the experiment
 driver once under pytest-benchmark (simulations are seconds-long, so a
@@ -9,16 +9,180 @@ inspection.
 Run with::
 
     pytest benchmarks/ --benchmark-only
+
+Perf-regression harness (see ``make bench-baseline`` / ``make bench-check``)::
+
+    pytest benchmarks/ --benchmark-disable --bench-json benchmarks/baselines
+    pytest benchmarks/ --benchmark-disable --bench-check benchmarks/baselines \
+        [--bench-tolerance 0.5]
+
+``--bench-json DIR`` records one ``BENCH_<module>.json`` per test module
+with each test's wall-clock seconds and the sha256 of every artifact it
+saved.  ``--bench-check DIR`` replays the suite against those committed
+baselines and **fails a test** when its wall time exceeds
+``baseline * (1 + tolerance)`` (plus a small absolute grace for
+sub-100ms tests) or when an artifact checksum drifts — catching both
+performance regressions and silent output changes in one gate.
 """
 
 from __future__ import annotations
 
+import hashlib
+import json
+import time
 from pathlib import Path
 
 import pytest
 
 #: Where rendered figures and CSV series are written.
 OUT_DIR = Path(__file__).parent / "out"
+#: Default home of committed BENCH_*.json baselines.
+BASELINE_DIR = Path(__file__).parent / "baselines"
+#: Absolute grace added to the relative tolerance band: sub-100ms tests
+#: would otherwise fail on scheduler jitter alone.
+ABS_GRACE_SECONDS = 0.25
+
+
+def pytest_addoption(parser):
+    group = parser.getgroup("bench-regression")
+    group.addoption(
+        "--bench-json",
+        metavar="DIR",
+        default=None,
+        help="write BENCH_<module>.json perf baselines into DIR",
+    )
+    group.addoption(
+        "--bench-check",
+        metavar="DIR",
+        default=None,
+        help="fail tests that regress against the BENCH_*.json baselines in DIR",
+    )
+    group.addoption(
+        "--bench-tolerance",
+        type=float,
+        default=0.5,
+        metavar="FRAC",
+        help="allowed relative wall-time slowdown before --bench-check fails "
+        "(default: 0.5 = +50%%)",
+    )
+
+
+def _module_key(nodeid: str) -> str:
+    # "benchmarks/test_fig6_density.py::test_x" -> "test_fig6_density"
+    return Path(nodeid.split("::", 1)[0]).stem
+
+
+def _baseline_path(directory: str, nodeid: str) -> Path:
+    return Path(directory) / f"BENCH_{_module_key(nodeid)}.json"
+
+
+class _BenchRecorder:
+    """Session-wide store of per-test timings and artifact checksums."""
+
+    def __init__(self) -> None:
+        #: nodeid -> {"seconds": float, "artifacts": {name: sha256}}
+        self.records: dict[str, dict] = {}
+
+    def flush(self, directory: str) -> list[Path]:
+        out = Path(directory)
+        out.mkdir(parents=True, exist_ok=True)
+        by_module: dict[str, dict[str, dict]] = {}
+        for nodeid, record in self.records.items():
+            by_module.setdefault(_module_key(nodeid), {})[nodeid] = record
+        written = []
+        for module, records in sorted(by_module.items()):
+            path = out / f"BENCH_{module}.json"
+            path.write_text(
+                json.dumps(records, indent=2, sort_keys=True) + "\n"
+            )
+            written.append(path)
+        return written
+
+
+def pytest_configure(config):
+    config._bench_recorder = _BenchRecorder()
+
+
+def pytest_sessionfinish(session):
+    directory = session.config.getoption("--bench-json")
+    if directory:
+        written = session.config._bench_recorder.flush(directory)
+        tr = session.config.pluginmanager.get_plugin("terminalreporter")
+        if tr is not None:
+            tr.write_line(
+                f"bench baselines: {len(written)} file(s) written to {directory}"
+            )
+
+
+def _check_against_baseline(config, nodeid, seconds, artifacts):
+    directory = config.getoption("--bench-check")
+    tolerance = config.getoption("--bench-tolerance")
+    path = _baseline_path(directory, nodeid)
+    if not path.is_file():
+        pytest.fail(
+            f"no bench baseline for {nodeid} (expected {path}); "
+            "regenerate with 'make bench-baseline'",
+            pytrace=False,
+        )
+    baseline = json.loads(path.read_text()).get(nodeid)
+    if baseline is None:
+        pytest.fail(
+            f"{path.name} has no entry for {nodeid}; "
+            "regenerate with 'make bench-baseline'",
+            pytrace=False,
+        )
+    problems = []
+    budget = baseline["seconds"] * (1.0 + tolerance) + ABS_GRACE_SECONDS
+    if seconds > budget:
+        problems.append(
+            f"wall time {seconds:.3f}s exceeds budget {budget:.3f}s "
+            f"(baseline {baseline['seconds']:.3f}s + {tolerance:.0%} + "
+            f"{ABS_GRACE_SECONDS}s grace)"
+        )
+    expected = baseline.get("artifacts", {})
+    for name, digest in sorted(expected.items()):
+        actual = artifacts.get(name)
+        if actual is None:
+            problems.append(f"artifact {name!r} was not regenerated")
+        elif actual != digest:
+            problems.append(
+                f"artifact {name!r} checksum drifted "
+                f"({actual[:12]} != baseline {digest[:12]})"
+            )
+    for name in sorted(set(artifacts) - set(expected)):
+        problems.append(f"artifact {name!r} is not in the baseline")
+    if problems:
+        pytest.fail(
+            "bench regression vs "
+            + str(path)
+            + ":\n  - "
+            + "\n  - ".join(problems),
+            pytrace=False,
+        )
+
+
+@pytest.fixture(autouse=True)
+def _bench_guard(request):
+    """Time every benchmark test; record or enforce the baseline."""
+    config = request.config
+    recording = config.getoption("--bench-json")
+    checking = config.getoption("--bench-check")
+    if not recording and not checking:
+        yield
+        return
+    artifacts: dict[str, str] = {}
+    request.node._bench_artifacts = artifacts
+    t0 = time.perf_counter()
+    yield
+    seconds = time.perf_counter() - t0
+    nodeid = request.node.nodeid
+    if recording:
+        config._bench_recorder.records[nodeid] = {
+            "seconds": round(seconds, 6),
+            "artifacts": dict(sorted(artifacts.items())),
+        }
+    if checking:
+        _check_against_baseline(config, nodeid, seconds, artifacts)
 
 
 @pytest.fixture(scope="session")
@@ -28,12 +192,21 @@ def out_dir() -> Path:
 
 
 @pytest.fixture
-def save_artifact(out_dir):
-    """Write a rendered experiment to benchmarks/out/<name>.txt."""
+def save_artifact(out_dir, request):
+    """Write a rendered experiment to benchmarks/out/<name>.txt.
 
-    def _save(name: str, rendered: str) -> Path:
+    ``checksum=False`` opts an artifact out of the perf-regression
+    checksum comparison — for renders that embed wall-clock timings and
+    are legitimately different on every run.
+    """
+
+    def _save(name: str, rendered: str, *, checksum: bool = True) -> Path:
         path = out_dir / f"{name}.txt"
-        path.write_text(rendered + "\n")
+        text = rendered + "\n"
+        path.write_text(text)
+        artifacts = getattr(request.node, "_bench_artifacts", None)
+        if checksum and artifacts is not None:
+            artifacts[name] = hashlib.sha256(text.encode("utf-8")).hexdigest()
         return path
 
     return _save

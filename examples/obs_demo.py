@@ -1,6 +1,6 @@
 #!/usr/bin/env python3
-"""Observability demo: metrics, spans, and structured logs on a fig6-style
-single-store run.
+"""Observability demo: metrics, spans, time series, phase profile, logs
+and the HTML dashboard on a fig6-style single-store run.
 
 Run with::
 
@@ -8,7 +8,8 @@ Run with::
 
 Equivalent CLI::
 
-    repro-sim run fig6 --horizon-days 60 --metrics-out m.json --trace
+    repro-sim run fig6 --horizon-days 60 --metrics-out m.json --trace \
+        --dashboard-out dash.html
 """
 
 import json
@@ -17,14 +18,15 @@ from pathlib import Path
 
 from repro import obs
 from repro.experiments import fig6_density
-from repro.report import metrics_summary
+from repro.report import metrics_summary, render_dashboard
 
 
 def main() -> None:
-    # Switch telemetry on: a fresh registry/tracer start collecting, and
-    # the logger echoes run lifecycle events into a plain list.
+    # Switch telemetry on: a fresh registry/tracer start collecting, the
+    # logger echoes run lifecycle events into a plain list, and a
+    # time-series collector scrapes the registry daily (sim time).
     obs.reset()
-    obs.enable()
+    obs.enable(timeseries=obs.TimeSeriesCollector(interval_minutes=1440.0))
     log_records: list[dict] = []
     obs.configure_logging("info", log_records)
 
@@ -34,9 +36,17 @@ def main() -> None:
     fig6_density.run(capacities_gib=(80,), horizon_days=60.0, seed=7)
     registry = obs.STATE.registry
 
-    print(metrics_summary(registry, title="Metrics after fig6 (60 days)"))
+    print(
+        metrics_summary(
+            registry,
+            title="Metrics after fig6 (60 days)",
+            timeseries=obs.STATE.timeseries,
+        )
+    )
     print()
     print(obs.STATE.tracer.render())
+    print()
+    print(obs.STATE.profiler.render())
     print()
 
     # Individual instruments are queryable directly.
@@ -56,7 +66,18 @@ def main() -> None:
         print(f"  {json.dumps(record)}")
     print()
 
-    # The registry exports to a JSON-friendly dict or Prometheus text.
+    # The daily scrapes give every metric a bounded history.
+    collector = obs.STATE.timeseries
+    density_label = "store_importance_density{unit=disk-80g-temporal-importance}"
+    print(f"time series collected: {len(collector)} "
+          f"({collector.scrape_count} scrapes)")
+    density = collector.values(density_label)
+    print(f"density trajectory:   {density[0]:.3f} -> {max(density):.3f} "
+          f"(peak) -> {density[-1]:.3f} over {len(density)} samples")
+    print()
+
+    # The registry exports to a JSON-friendly dict or Prometheus text, and
+    # the whole run renders to one self-contained HTML dashboard.
     with tempfile.TemporaryDirectory() as tmp:
         out = Path(tmp) / "metrics.json"
         out.write_text(json.dumps(registry.to_dict(), indent=2))
@@ -64,6 +85,19 @@ def main() -> None:
               f"{len(registry)} metrics")
     prom = registry.to_prometheus_text()
     print(f"Prometheus export: {prom.count(chr(10))} lines")
+    html = render_dashboard(
+        [
+            {
+                "experiment": "fig6-demo",
+                "metrics": registry.to_dict(),
+                "timeseries": collector.to_dict(),
+                "spans": obs.STATE.tracer.aggregates(),
+                "profile": obs.STATE.profiler.aggregates(),
+            }
+        ]
+    )
+    print(f"HTML dashboard: {len(html)} bytes, self-contained "
+          f"({'no' if 'http' not in html else 'HAS'} external refs)")
 
     # Back to the free, disabled state.
     obs.reset()

@@ -19,6 +19,7 @@ from repro.core.obj import ObjectId, StoredObject
 from repro.core.policy import EvictionPolicy
 from repro.core.store import AdmissionResult
 from repro.errors import PlacementError, UnknownObjectError
+from repro.obs import STATE as _OBS
 from repro.sim.recorder import Recorder
 
 __all__ = ["BesteffsCluster", "ClusterStats"]
@@ -162,6 +163,7 @@ class BesteffsCluster:
                     t=now, size=obj.size, admitted=False,
                     creator=obj.creator, object_id=obj.object_id, unit="",
                 )
+            self._obs_scrape(now)
             return decision, None
         result = node.accept(obj, now)
         if not result.admitted:
@@ -178,7 +180,39 @@ class BesteffsCluster:
                 t=now, size=obj.size, admitted=True,
                 creator=obj.creator, object_id=obj.object_id, unit=node.node_id,
             )
+        self._obs_scrape(now)
         return decision, result
+
+    def _obs_scrape(self, now: float) -> None:
+        """Feed the time-series collector on engine-less (direct) drives.
+
+        Cluster experiments offer arrivals straight from the workload
+        iterator without a :class:`~repro.sim.engine.SimulationEngine`, so
+        the collector's sim-time cadence is checked here instead of in the
+        dispatch loop.  Per-node density/occupancy gauges are refreshed
+        only when a scrape is actually due — computing the density of every
+        node per offer would be O(residents × nodes) on the hot path.
+        """
+        collector = _OBS.timeseries
+        if not _OBS.enabled or collector is None or now < collector.next_due:
+            return
+        registry = _OBS.registry
+        density_gauge = registry.gauge(
+            "store_importance_density",
+            "Instantaneous storage importance density.",
+            ("unit",),
+        )
+        occupancy_gauge = registry.gauge(
+            "store_occupancy_ratio",
+            "Fraction of raw capacity occupied.",
+            ("unit",),
+        )
+        for node_id, node in self.nodes.items():
+            density_gauge.set(importance_density(node.store, now), unit=node_id)
+            occupancy_gauge.set(
+                node.used_bytes / node.capacity_bytes, unit=node_id
+            )
+        collector.scrape(now)
 
     def locate(self, object_id: ObjectId) -> BesteffsNode:
         """Find the node currently holding an object."""

@@ -21,6 +21,7 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass
+from time import perf_counter
 
 from repro.besteffs.cluster import BesteffsCluster
 from repro.besteffs.walks import DEFAULT_WALK_LENGTH, sample_nodes
@@ -112,6 +113,7 @@ class GossipAverager:
 
     def round(self) -> None:
         """One synchronous push-pull round across all nodes."""
+        round_t0 = perf_counter() if _OBS.enabled else 0.0
         exchanges = 0
         order = sorted(self._states)
         self._rng.shuffle(order)
@@ -142,6 +144,7 @@ class GossipAverager:
                 "gossip_exchanges_total",
                 "Pairwise estimate exchanges (gossip fan-out).",
             ).inc(exchanges)
+            _OBS.profiler.observe("gossip.round", perf_counter() - round_t0)
 
     def run(self, rounds: int) -> float:
         """Run ``rounds`` gossip rounds; returns the final spread."""

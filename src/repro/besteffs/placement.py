@@ -21,6 +21,7 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass
+from time import perf_counter
 from typing import Mapping
 
 from repro.besteffs.node import BesteffsNode, ProbeResult
@@ -158,8 +159,10 @@ def _choose_unit(
     best_score = float("inf")
     best_node: BesteffsNode | None = None
     probed_total = 0
+    profiled = _OBS.enabled
 
     for round_no in range(1, config.m + 1):
+        round_t0 = perf_counter() if profiled else 0.0
         sampled = sample_nodes(
             overlay, origin, config.x, rng, walk_length=config.walk_length
         )
@@ -170,6 +173,8 @@ def _choose_unit(
             if not probe.admissible:
                 continue  # full for this object (or oversized here)
             if probe.direct:
+                if profiled:
+                    _OBS.profiler.observe("placement.round", perf_counter() - round_t0)
                 return (
                     PlacementDecision(
                         placed=True,
@@ -185,6 +190,8 @@ def _choose_unit(
             if score < best_score:
                 best_score = score
                 best_node = node
+        if profiled:
+            _OBS.profiler.observe("placement.round", perf_counter() - round_t0)
 
     if best_node is None:
         return (

@@ -14,8 +14,12 @@ Observability (see ``docs/observability.md``): ``--metrics-out FILE``
 exports the :mod:`repro.obs` metrics registry after each experiment
 (JSON, or Prometheus text for ``.prom`` files), ``--trace`` prints span
 timings, and ``--log-level``/``--log-file`` emit structured JSONL events
-(to stderr when no file is given).  Any of these flags enables the
-instrumentation layer; without them it is entirely off.
+(to stderr when no file is given).  ``--dashboard-out FILE`` installs a
+time-series collector (scrape cadence ``--scrape-interval-days``) and
+writes one self-contained HTML dashboard over every experiment run.  Any
+of these flags enables the instrumentation layer; without them it is
+entirely off.  ``repro-sim dashboard <run-dir>`` rebuilds a dashboard
+later from the ``--metrics-out`` JSON files of a previous run.
 """
 
 from __future__ import annotations
@@ -324,6 +328,21 @@ def build_parser() -> argparse.ArgumentParser:
         help="record wall-clock spans and print them after each experiment",
     )
     run_parser.add_argument(
+        "--dashboard-out",
+        type=str,
+        default=None,
+        metavar="FILE",
+        help="write a self-contained HTML dashboard (implies metrics + "
+        "time-series collection)",
+    )
+    run_parser.add_argument(
+        "--scrape-interval-days",
+        type=float,
+        default=1.0,
+        metavar="DAYS",
+        help="sim-time cadence for time-series scrapes (default: 1 day)",
+    )
+    run_parser.add_argument(
         "--log-level",
         choices=["debug", "info", "warning", "error"],
         default=None,
@@ -336,6 +355,20 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="FILE",
         help="append JSONL events to FILE (default: stderr; implies "
         "--log-level info)",
+    )
+    dash_parser = sub.add_parser(
+        "dashboard", help="rebuild an HTML dashboard from a run's metrics JSON"
+    )
+    dash_parser.add_argument(
+        "run_dir",
+        help="directory holding --metrics-out JSON exports (or one JSON file)",
+    )
+    dash_parser.add_argument(
+        "--out",
+        type=str,
+        default=None,
+        metavar="FILE",
+        help="output HTML path (default: <run-dir>/dashboard.html)",
     )
     return parser
 
@@ -363,9 +396,52 @@ def _write_metrics(path: str, experiment: str, trace: bool) -> None:
     }
     if trace:
         payload["spans"] = obs.STATE.tracer.aggregates()
+    if obs.STATE.timeseries is not None:
+        payload["timeseries"] = obs.STATE.timeseries.to_dict()
+    profile = obs.STATE.profiler.aggregates()
+    if profile:
+        payload["profile"] = profile
     with open(path, "w", encoding="utf-8") as fh:
         json.dump(payload, fh, indent=2)
         fh.write("\n")
+
+
+def _dashboard_from_dir(run_dir: str, out: str | None) -> int:
+    """The ``dashboard`` subcommand: rebuild HTML from metrics JSON files."""
+    from repro.report.dashboard import write_dashboard
+
+    if os.path.isfile(run_dir):
+        paths = [run_dir]
+        default_out = os.path.splitext(run_dir)[0] + ".html"
+    elif os.path.isdir(run_dir):
+        paths = sorted(
+            os.path.join(run_dir, f)
+            for f in os.listdir(run_dir)
+            if f.endswith(".json")
+        )
+        default_out = os.path.join(run_dir, "dashboard.html")
+    else:
+        print(f"error: {run_dir!r} is not a file or directory", file=sys.stderr)
+        return 2
+    payloads = []
+    for path in paths:
+        try:
+            with open(path, encoding="utf-8") as fh:
+                data = json.load(fh)
+        except (OSError, json.JSONDecodeError) as exc:
+            print(f"[skipping {path}: {exc}]", file=sys.stderr)
+            continue
+        if isinstance(data, dict) and "metrics" in data:
+            data.setdefault(
+                "experiment", os.path.splitext(os.path.basename(path))[0]
+            )
+            payloads.append(data)
+    if not payloads:
+        print(f"error: no metrics JSON payloads found under {run_dir!r}", file=sys.stderr)
+        return 2
+    target = write_dashboard(out or default_out, payloads)
+    print(f"[dashboard written to {target}]")
+    return 0
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -375,13 +451,20 @@ def main(argv: list[str] | None = None) -> int:
         for name in EXPERIMENTS:
             print(name)
         return 0
+    if args.command == "dashboard":
+        return _dashboard_from_dir(args.run_dir, args.out)
 
     names = list(EXPERIMENTS) if args.experiment == "all" else [args.experiment]
     obs_requested = bool(
-        args.metrics_out or args.trace or args.log_level or args.log_file
+        args.metrics_out
+        or args.trace
+        or args.log_level
+        or args.log_file
+        or args.dashboard_out
     )
     if obs_requested:
         from repro import obs
+        from repro.obs import TimeSeriesCollector
 
         obs.reset()
         obs.enable()
@@ -390,11 +473,16 @@ def main(argv: list[str] | None = None) -> int:
                 args.log_level or "info", args.log_file or sys.stderr
             )
     requested_horizon = args.horizon_days
+    dashboard_payloads: list[dict[str, Any]] = []
     try:
         for name in names:
             if obs_requested:
                 obs.STATE.registry.reset()
                 obs.STATE.tracer.reset()
+                obs.STATE.profiler.reset()
+                obs.STATE.timeseries = TimeSeriesCollector(
+                    interval_minutes=args.scrape_interval_days * 1440.0
+                )
             args.horizon_days = (
                 requested_horizon
                 if requested_horizon is not None
@@ -413,7 +501,7 @@ def main(argv: list[str] | None = None) -> int:
             if obs_requested:
                 from repro.report.metrics import metrics_summary
 
-                print(metrics_summary(obs.STATE.registry))
+                print(metrics_summary(obs.STATE.registry, timeseries=obs.STATE.timeseries))
                 print()
                 if args.trace:
                     print(obs.STATE.tracer.render())
@@ -422,6 +510,15 @@ def main(argv: list[str] | None = None) -> int:
                     path = _metrics_path(args.metrics_out, name, len(names) > 1)
                     _write_metrics(path, name, args.trace)
                     print(f"[metrics written to {path}]")
+                if args.dashboard_out is not None:
+                    from repro.report.dashboard import collect_payload
+
+                    dashboard_payloads.append(collect_payload(name))
+        if args.dashboard_out is not None and dashboard_payloads:
+            from repro.report.dashboard import write_dashboard
+
+            write_dashboard(args.dashboard_out, dashboard_payloads)
+            print(f"[dashboard written to {args.dashboard_out}]")
     finally:
         if obs_requested:
             obs.STATE.logger.close()

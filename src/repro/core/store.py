@@ -12,6 +12,7 @@ simulator and directly from library users' code.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from time import perf_counter
 from typing import Callable, Iterator
 
 from repro.core.obj import ObjectId, StoredObject
@@ -179,7 +180,12 @@ class StorageUnit:
         """
         if obj.object_id in self._residents:
             raise CapacityError(f"{obj.object_id!r} is already stored on {self.name}")
-        plan = self.policy.plan_admission(self, obj, now)
+        if _OBS.enabled:
+            t0 = perf_counter()
+            plan = self.policy.plan_admission(self, obj, now)
+            _OBS.profiler.observe("store.plan_admission", perf_counter() - t0)
+        else:
+            plan = self.policy.plan_admission(self, obj, now)
         if not plan.admit:
             rejection = RejectionRecord(
                 obj=obj,

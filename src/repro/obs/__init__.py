@@ -43,6 +43,8 @@ from repro.obs.metrics import (
     Histogram,
     MetricsRegistry,
 )
+from repro.obs.profile import PhaseProfiler
+from repro.obs.timeseries import SeriesBuffer, TimeSeriesCollector, series_label
 from repro.obs.tracing import SpanNode, SpanStats, Tracer
 
 __all__ = [
@@ -56,28 +58,35 @@ __all__ = [
     "JsonlLogger",
     "MetricsRegistry",
     "ObsState",
+    "PhaseProfiler",
     "STATE",
+    "SeriesBuffer",
     "SpanNode",
     "SpanStats",
+    "TimeSeriesCollector",
     "Tracer",
     "configure_logging",
     "disable",
     "enable",
     "is_enabled",
     "reset",
+    "series_label",
 ]
 
 
 class ObsState:
     """The process-global telemetry switchboard."""
 
-    __slots__ = ("enabled", "registry", "tracer", "logger")
+    __slots__ = ("enabled", "registry", "tracer", "logger", "profiler", "timeseries")
 
     def __init__(self) -> None:
         self.enabled = False
         self.registry = MetricsRegistry()
         self.tracer = Tracer()
         self.logger = JsonlLogger()
+        self.profiler = PhaseProfiler()
+        #: Optional time-series collector; the engine scrapes it when set.
+        self.timeseries: TimeSeriesCollector | None = None
 
 
 #: Global state; hot paths read ``STATE.enabled`` directly.
@@ -89,6 +98,7 @@ def enable(
     registry: MetricsRegistry | None = None,
     tracer: Tracer | None = None,
     logger: JsonlLogger | None = None,
+    timeseries: TimeSeriesCollector | None = None,
 ) -> ObsState:
     """Turn instrumentation on, optionally swapping in custom sinks.
 
@@ -100,6 +110,8 @@ def enable(
         STATE.tracer = tracer
     if logger is not None:
         STATE.logger = logger
+    if timeseries is not None:
+        STATE.timeseries = timeseries
     STATE.enabled = True
     return STATE
 
@@ -121,6 +133,8 @@ def reset() -> None:
     STATE.tracer = Tracer()
     STATE.logger.close()
     STATE.logger = JsonlLogger()
+    STATE.profiler = PhaseProfiler()
+    STATE.timeseries = None
 
 
 def configure_logging(level: str = "info", sink: str | IO[str] | list | None = None) -> JsonlLogger:

@@ -32,6 +32,7 @@ __all__ = [
     "Gauge",
     "Histogram",
     "MetricsRegistry",
+    "quantile_from_cumulative",
 ]
 
 #: Wall-clock durations in seconds (microseconds up to multi-second stalls).
@@ -49,6 +50,45 @@ IMPORTANCE_BUCKETS: tuple[float, ...] = tuple(i / 10.0 for i in range(1, 11))
 
 _NAME_RE = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
 _LABEL_RE = re.compile(r"^[a-zA-Z_][a-zA-Z0-9_]*$")
+
+
+def quantile_from_cumulative(
+    bounds: Sequence[float],
+    cumulative: Sequence[int],
+    total: int,
+    lo: float,
+    hi: float,
+    q: float,
+) -> float:
+    """Estimate the ``q``-quantile from cumulative bucket counts.
+
+    Standard Prometheus-style interpolation: find the first bucket whose
+    cumulative count reaches ``q * total`` and interpolate linearly between
+    its lower and upper bound.  ``lo``/``hi`` are the exact observed
+    min/max, used as the edges of the first and the ``+Inf`` bucket and to
+    clamp the estimate into the observed range.  Exposed as a module
+    function so exported snapshots (whose buckets are plain dicts) can be
+    quantiled without a live :class:`Histogram` — the dashboard path.
+    """
+    if not 0.0 <= q <= 1.0:
+        raise ObservabilityError(f"quantile must be in [0, 1], got {q}")
+    if total <= 0:
+        return 0.0
+    target = q * total
+    prev_bound = lo
+    prev_cum = 0
+    for bound, cum in zip(bounds, cumulative):
+        if cum >= target:
+            in_bucket = cum - prev_cum
+            if in_bucket <= 0:
+                estimate = bound
+            else:
+                frac = (target - prev_cum) / in_bucket
+                estimate = prev_bound + (bound - prev_bound) * frac
+            return min(max(estimate, lo), hi)
+        prev_cum = cum
+        prev_bound = max(prev_bound, bound)
+    return hi  # target falls in the implicit +Inf bucket
 
 
 def _escape_label_value(value: str) -> str:
@@ -196,6 +236,27 @@ class Histogram(_Metric):
             if value <= bound:
                 series.bucket_counts[i] += 1
                 break
+
+    def quantile(self, q: float, **labels: object) -> float:
+        """Estimated ``q``-quantile (0 <= q <= 1) of one labelled series.
+
+        Derived from the fixed bucket bounds by linear interpolation (see
+        :func:`quantile_from_cumulative`); exact min/max anchor the first
+        and the ``+Inf`` bucket, so ``quantile(0.0)``/``quantile(1.0)``
+        return the true observed extremes.  Returns 0.0 for an empty or
+        unknown series.
+        """
+        series = self._series.get(self._key(labels))
+        if series is None or series.count == 0:
+            return 0.0
+        cumulative: list[int] = []
+        running = 0
+        for raw in series.bucket_counts:
+            running += raw
+            cumulative.append(running)
+        return quantile_from_cumulative(
+            self.buckets, cumulative, series.count, series.min, series.max, q
+        )
 
     def snapshot(self, **labels: object) -> dict[str, object]:
         """Summary of one labelled series: count/sum/mean/min/max/buckets."""

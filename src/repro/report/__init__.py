@@ -9,13 +9,17 @@ plotting.
 from repro.report.table import TextTable
 from repro.report.asciichart import ascii_plot, ascii_cdf, sparkline
 from repro.report.csvout import write_csv
+from repro.report.dashboard import collect_payload, render_dashboard, write_dashboard
 from repro.report.metrics import metrics_summary
 
 __all__ = [
     "TextTable",
     "ascii_cdf",
     "ascii_plot",
+    "collect_payload",
     "metrics_summary",
+    "render_dashboard",
     "sparkline",
+    "write_dashboard",
     "write_csv",
 ]

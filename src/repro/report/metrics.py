@@ -2,45 +2,76 @@
 
 This is the ``repro.report`` face of :mod:`repro.obs`: after an
 instrumented experiment the CLI prints one row per metric series —
-counters and gauges show their value, histograms show count / mean / max
-— so a run's behaviour is visible without opening the JSON export.
+counters and gauges show their value, histograms show count / mean /
+p50 / p95 / p99 / max — so a run's behaviour is visible without opening
+the JSON export.  When a :class:`~repro.obs.TimeSeriesCollector` is
+passed, each row additionally gets a block-character sparkline of the
+series' collected history, giving ``--metrics-out`` users
+trend-at-a-glance without the HTML dashboard.
 """
 
 from __future__ import annotations
 
 from repro.obs.metrics import Counter, Gauge, Histogram, MetricsRegistry
+from repro.obs.timeseries import TimeSeriesCollector, series_label
+from repro.report.asciichart import sparkline
 from repro.report.table import TextTable
 
 __all__ = ["metrics_summary"]
 
-
-def _series_label(metric, key: tuple[str, ...]) -> str:
-    if not metric.labelnames:
-        return metric.name
-    pairs = ",".join(f"{n}={v}" for n, v in zip(metric.labelnames, key))
-    return f"{metric.name}{{{pairs}}}"
+#: Sparkline width cap; longer series show their most recent samples.
+_TREND_POINTS = 32
 
 
-def metrics_summary(registry: MetricsRegistry, *, title: str = "Metrics summary") -> str:
-    """One aligned table over every series in ``registry``."""
-    table = TextTable(["metric", "type", "value"], title=title)
+def _trend(collector: TimeSeriesCollector | None, label: str) -> str:
+    if collector is None:
+        return ""
+    values = collector.values(label)
+    return sparkline(values[-_TREND_POINTS:])
+
+
+def metrics_summary(
+    registry: MetricsRegistry,
+    *,
+    title: str = "Metrics summary",
+    timeseries: TimeSeriesCollector | None = None,
+) -> str:
+    """One aligned table over every series in ``registry``.
+
+    ``timeseries`` (optional) adds a trend column sampled from the
+    collector's buffers; series the collector never scraped get an empty
+    trend cell.
+    """
+    headers = ["metric", "type", "value"]
+    if timeseries is not None:
+        headers.append("trend")
+    table = TextTable(headers, title=title)
+
+    def add(cells: list[str], trend_label: str) -> None:
+        if timeseries is not None:
+            cells.append(_trend(timeseries, trend_label))
+        table.add_row(cells)
+
     for name in registry.names():
         metric = registry.get(name)
         if isinstance(metric, Histogram):
             for key, snap in sorted(metric.series().items()):
-                table.add_row(
-                    [
-                        _series_label(metric, key),
-                        metric.kind,
-                        (
-                            f"n={snap['count']} mean={snap['mean']:.4g} "
-                            f"max={snap['max']:.4g}"
-                        ),
-                    ]
+                labels = dict(zip(metric.labelnames, key))
+                value = (
+                    f"n={snap['count']} mean={snap['mean']:.4g} "
+                    f"p50={metric.quantile(0.5, **labels):.4g} "
+                    f"p95={metric.quantile(0.95, **labels):.4g} "
+                    f"p99={metric.quantile(0.99, **labels):.4g} "
+                    f"max={snap['max']:.4g}"
+                )
+                add(
+                    [series_label(metric.name, metric.labelnames, key), metric.kind, value],
+                    series_label(f"{name}_count", metric.labelnames, key),
                 )
         elif isinstance(metric, (Counter, Gauge)):
             for key, value in sorted(metric.series().items()):
-                table.add_row([_series_label(metric, key), metric.kind, f"{value:.6g}"])
+                label = series_label(metric.name, metric.labelnames, key)
+                add([label, metric.kind, f"{value:.6g}"], label)
     if not table.rows:
-        table.add_row(["(no metrics recorded)", "", ""])
+        table.add_row(["(no metrics recorded)", "", ""] + ([""] if timeseries is not None else []))
     return table.render()

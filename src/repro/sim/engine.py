@@ -116,6 +116,11 @@ class SimulationEngine:
         When :mod:`repro.obs` is enabled (sampled once on entry), the loop
         runs under an ``engine.run`` span and per-event dispatch counters,
         callback wall-time histograms and a queue-depth gauge are kept.
+        With a time-series collector installed (``obs.STATE.timeseries``),
+        the loop additionally scrapes the metrics registry whenever the
+        clock crosses the collector's sim-time cadence, plus once at the
+        end of the run, so density/occupancy/event series survive the run
+        without any extra events in the heap.
         """
         if until_minutes < self.clock.now:
             raise SimulationError(
@@ -127,9 +132,13 @@ class SimulationEngine:
                 until_minutes, max_events, on_progress, progress_every, instrumented=False
             )
         with _OBS.tracer.span("engine.run", sim_time=self.clock.now):
-            return self._dispatch_loop(
+            dispatched = self._dispatch_loop(
                 until_minutes, max_events, on_progress, progress_every, instrumented=True
             )
+        collector = _OBS.timeseries
+        if collector is not None:
+            collector.maybe_scrape(self.clock.now)
+        return dispatched
 
     def _dispatch_loop(
         self,
@@ -142,6 +151,8 @@ class SimulationEngine:
     ) -> int:
         if instrumented:
             registry = _OBS.registry
+            profiler = _OBS.profiler
+            collector = _OBS.timeseries
             events_total = registry.counter(
                 "engine_events_total", "Events dispatched by the engine.", ("label",)
             )
@@ -164,9 +175,13 @@ class SimulationEngine:
                 label = event.label or "unlabeled"
                 t0 = perf_counter()
                 event.callback(t)
-                callback_seconds.observe(perf_counter() - t0, label=label)
+                elapsed = perf_counter() - t0
+                callback_seconds.observe(elapsed, label=label)
+                profiler.observe("engine.step", elapsed)
                 events_total.inc(label=label)
                 queue_depth.set(len(self._heap))
+                if collector is not None and t >= collector.next_due:
+                    collector.scrape(t, registry)
             else:
                 event.callback(t)
             dispatched_here += 1

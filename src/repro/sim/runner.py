@@ -114,8 +114,18 @@ def run_single_store(
             store=store.name,
             horizon_minutes=horizon_minutes,
         )
+        collector = _OBS.timeseries
+        if collector is not None:
+            # Sequential sub-runs (one engine per capacity) restart the sim
+            # clock at zero; rewind the cadence so the new run still scrapes.
+            collector.rewind(engine.now)
         with _OBS.tracer.span("runner.run_single_store", sim_time=engine.now):
-            dispatched = engine.run(horizon_minutes)
+            with _OBS.profiler.phase("runner.run"):
+                dispatched = engine.run(horizon_minutes)
+        if collector is not None:
+            # Pin the end-of-horizon state even when the cadence is not due,
+            # so final density/occupancy always close the collected series.
+            collector.scrape(engine.now)
         _OBS.logger.info(
             "runner",
             "run-end",
@@ -125,6 +135,7 @@ def run_single_store(
             accepted=store.accepted_count,
             rejected=store.rejected_count,
             evicted=store.evicted_count,
+            timeseries_scrapes=None if collector is None else collector.scrape_count,
         )
     else:
         engine.run(horizon_minutes)

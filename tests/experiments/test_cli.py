@@ -137,3 +137,134 @@ class TestObservability:
         assert main(["run", "fig6", "--horizon-days", "10"]) == 0
         assert len(obs.STATE.registry) == 0
         assert "Metrics summary" not in capsys.readouterr().out
+
+
+def _stub_experiment(args):
+    """Instant experiment used to exercise 'run all' plumbing."""
+    from repro import obs
+
+    if obs.is_enabled():
+        obs.STATE.registry.counter("stub_runs_total", "Stub runs.").inc()
+        if obs.STATE.timeseries is not None:
+            obs.STATE.timeseries.maybe_scrape(0.0)
+    return None, "stub output", [("col",), [(1,)]]
+
+
+class TestRunAllMetrics:
+    """'run all' writes one metrics file per experiment (suffixed paths)."""
+
+    @pytest.fixture(autouse=True)
+    def _fresh_obs(self):
+        obs.reset()
+        yield
+        obs.reset()
+
+    @pytest.fixture(autouse=True)
+    def _stub_experiments(self, monkeypatch):
+        monkeypatch.setattr(
+            "repro.cli.EXPERIMENTS",
+            {"stub-a": _stub_experiment, "stub-b": _stub_experiment},
+        )
+
+    def test_one_json_per_experiment(self, tmp_path, capsys):
+        base = tmp_path / "metrics.json"
+        assert main(["run", "all", "--metrics-out", str(base)]) == 0
+        for name in ("stub-a", "stub-b"):
+            path = tmp_path / f"metrics-{name}.json"
+            assert path.exists(), name
+            payload = json.loads(path.read_text())
+            assert payload["experiment"] == name
+            # Registries are reset between experiments: exactly one stub run.
+            assert payload["metrics"]["stub_runs_total"]["series"][0]["value"] == 1.0
+        assert not base.exists()  # only the suffixed files are written
+        assert capsys.readouterr().out.count("metrics written") == 2
+
+    def test_one_prom_per_experiment(self, tmp_path):
+        base = tmp_path / "metrics.prom"
+        assert main(["run", "all", "--metrics-out", str(base)]) == 0
+        for name in ("stub-a", "stub-b"):
+            text = (tmp_path / f"metrics-{name}.prom").read_text()
+            assert "# TYPE stub_runs_total counter" in text
+
+    def test_single_experiment_keeps_exact_path(self, tmp_path):
+        base = tmp_path / "metrics.json"
+        assert main(["run", "stub-a", "--metrics-out", str(base)]) == 0
+        assert base.exists()
+
+
+class TestDashboard:
+    """--dashboard-out and the dashboard subcommand (acceptance criteria)."""
+
+    @pytest.fixture(autouse=True)
+    def _fresh_obs(self):
+        obs.reset()
+        yield
+        obs.reset()
+
+    def test_run_writes_self_contained_dashboard(self, tmp_path, capsys):
+        dash = tmp_path / "dash.html"
+        assert main([
+            "run", "fig6", "--horizon-days", "60", "--dashboard-out", str(dash),
+        ]) == 0
+        html = dash.read_text()
+        assert html.startswith("<!DOCTYPE html>")
+        assert "http://" not in html and "https://" not in html
+        assert "== fig6 ==" in html
+        assert "Density over time" in html
+        assert "Per-unit occupancy" in html
+        assert "store_evictions_total" in html
+        assert "dashboard written" in capsys.readouterr().out
+        assert not obs.is_enabled()
+
+    def test_scrape_interval_flag_sets_cadence(self, tmp_path):
+        out_path = tmp_path / "m.json"
+        assert main([
+            "run", "fig6", "--horizon-days", "60",
+            "--metrics-out", str(out_path),
+            "--dashboard-out", str(tmp_path / "d.html"),
+            "--scrape-interval-days", "10",
+        ]) == 0
+        payload = json.loads(out_path.read_text())
+        ts = payload["timeseries"]
+        assert ts["interval_minutes"] == 10 * 1440.0
+        assert ts["scrape_count"] >= 2
+        assert payload["profile"]["engine.step"]["count"] >= 1.0
+
+    def test_dashboard_subcommand_rebuilds_from_run_dir(self, tmp_path, capsys):
+        out_path = tmp_path / "m.json"
+        assert main([
+            "run", "fig6", "--horizon-days", "30",
+            "--metrics-out", str(out_path),
+        ]) == 0
+        assert main(["dashboard", str(tmp_path)]) == 0
+        html = (tmp_path / "dashboard.html").read_text()
+        assert "== m ==" in html or "== fig6 ==" in html
+        assert "Histogram percentiles" in html
+        assert "dashboard written" in capsys.readouterr().out
+
+    def test_dashboard_subcommand_accepts_single_file(self, tmp_path):
+        out_path = tmp_path / "m.json"
+        assert main([
+            "run", "fig6", "--horizon-days", "30",
+            "--metrics-out", str(out_path),
+        ]) == 0
+        assert main(["dashboard", str(out_path)]) == 0
+        assert (tmp_path / "m.html").exists()
+
+    def test_dashboard_subcommand_rejects_missing_path(self, tmp_path, capsys):
+        assert main(["dashboard", str(tmp_path / "nope")]) == 2
+        assert "not a file or directory" in capsys.readouterr().err
+
+    def test_dashboard_subcommand_rejects_dir_without_payloads(self, tmp_path, capsys):
+        (tmp_path / "notes.json").write_text('{"no_metrics": true}')
+        assert main(["dashboard", str(tmp_path)]) == 2
+        assert "no metrics JSON payloads" in capsys.readouterr().err
+
+    def test_metrics_summary_gains_trend_column(self, tmp_path, capsys):
+        assert main([
+            "run", "fig6", "--horizon-days", "60",
+            "--metrics-out", str(tmp_path / "m.json"),
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "trend" in out
+        assert "p95=" in out

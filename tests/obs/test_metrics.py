@@ -9,6 +9,7 @@ from repro.obs.metrics import (
     Gauge,
     Histogram,
     MetricsRegistry,
+    quantile_from_cumulative,
 )
 
 
@@ -163,3 +164,96 @@ class TestRegistry:
         reg.counter("c_total", labelnames=("name",)).inc(name='with"quote')
         text = reg.to_prometheus_text()
         assert r'c_total{name="with\"quote"} 1.0' in text
+
+
+class TestHistogramQuantiles:
+    def _hist(self):
+        h = Histogram("latency", buckets=(1.0, 2.0, 4.0, 8.0))
+        for v in (0.5, 1.5, 1.5, 3.0, 7.0, 7.5):
+            h.observe(v)
+        return h
+
+    def test_extremes_are_exact(self):
+        h = self._hist()
+        assert h.quantile(0.0) == 0.5
+        assert h.quantile(1.0) == 7.5
+
+    def test_median_interpolates_within_its_bucket(self):
+        h = self._hist()
+        p50 = h.quantile(0.5)
+        # Three of six samples are <= 1.5; the median lives in (1.0, 2.0].
+        assert 1.0 <= p50 <= 2.0
+
+    def test_upper_quantiles_clamp_to_observed_max(self):
+        h = self._hist()
+        assert h.quantile(0.99) <= 7.5
+        assert h.quantile(0.95) <= 7.5
+
+    def test_empty_or_unknown_series_returns_zero(self):
+        h = Histogram("latency", labelnames=("unit",))
+        assert h.quantile(0.5, unit="missing") == 0.0
+
+    def test_invalid_q_rejected(self):
+        h = self._hist()
+        with pytest.raises(ObservabilityError):
+            h.quantile(-0.1)
+        with pytest.raises(ObservabilityError):
+            h.quantile(1.1)
+
+    def test_labelled_series_are_independent(self):
+        h = Histogram("latency", labelnames=("unit",), buckets=(1.0, 10.0))
+        h.observe(0.5, unit="fast")
+        h.observe(9.0, unit="slow")
+        assert h.quantile(0.5, unit="fast") <= 1.0
+        assert h.quantile(0.5, unit="slow") > 1.0
+
+
+class TestQuantileFromCumulative:
+    def test_interpolates_linearly_in_target_bucket(self):
+        # 10 samples <= 1.0, 10 more in (1.0, 2.0]: p75 is midway up bucket 2.
+        value = quantile_from_cumulative(
+            [1.0, 2.0], [10, 20], 20, 0.0, 2.0, 0.75
+        )
+        assert value == pytest.approx(1.5)
+
+    def test_empty_total_returns_zero(self):
+        assert quantile_from_cumulative([1.0], [0], 0, 0.0, 0.0, 0.5) == 0.0
+
+    def test_estimate_clamps_into_observed_range(self):
+        value = quantile_from_cumulative([10.0], [5], 5, 2.0, 3.0, 0.99)
+        assert 2.0 <= value <= 3.0
+
+    def test_invalid_q_rejected(self):
+        with pytest.raises(ObservabilityError):
+            quantile_from_cumulative([1.0], [1], 1, 0.0, 1.0, 2.0)
+
+
+class TestPrometheusExposition:
+    """Exposition-format guarantees the .prom export relies on."""
+
+    def test_label_values_escape_backslash_and_newline(self):
+        reg = MetricsRegistry()
+        reg.counter("c_total", labelnames=("path",)).inc(path="a\\b\nc")
+        text = reg.to_prometheus_text()
+        assert r'c_total{path="a\\b\nc"} 1.0' in text
+
+    def test_every_exposed_metric_name_is_valid(self):
+        import re
+
+        name_re = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
+        reg = MetricsRegistry()
+        reg.counter("events_total", "E.", ("label",)).inc(label="arrival")
+        reg.gauge("queue_depth", "Q.").set(1)
+        reg.histogram("scan", "S.", ("unit",), buckets=(1.0,)).observe(0.5, unit="d0")
+        for line in reg.to_prometheus_text().splitlines():
+            if not line or line.startswith("#"):
+                continue
+            metric_name = re.split(r"[{ ]", line, maxsplit=1)[0]
+            assert name_re.match(metric_name), line
+
+    def test_registry_rejects_invalid_names_up_front(self):
+        reg = MetricsRegistry()
+        with pytest.raises(ObservabilityError):
+            reg.counter("bad name")
+        with pytest.raises(ObservabilityError):
+            reg.gauge("ok", labelnames=("bad-label",))

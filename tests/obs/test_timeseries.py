@@ -1,0 +1,154 @@
+"""Unit tests for the ring-buffer time-series collector."""
+
+import math
+
+import pytest
+
+from repro.errors import ObservabilityError
+from repro.obs.metrics import DURATION_BUCKETS, MetricsRegistry
+from repro.obs.timeseries import (
+    SeriesBuffer,
+    TimeSeriesCollector,
+    series_label,
+)
+
+
+class TestSeriesLabel:
+    def test_bare_metric_is_its_own_label(self):
+        assert series_label("engine_queue_depth", (), ()) == "engine_queue_depth"
+
+    def test_labelled_series_use_prometheus_style_braces(self):
+        label = series_label("store_occupancy_ratio", ("unit", "tier"), ("a", "ssd"))
+        assert label == "store_occupancy_ratio{unit=a,tier=ssd}"
+
+
+class TestSeriesBuffer:
+    def test_append_and_points(self):
+        buffer = SeriesBuffer(max_points=8)
+        buffer.append(0.0, 1.0)
+        buffer.append(1.0, 3.0)
+        assert buffer.points() == [(0.0, 1.0), (1.0, 3.0)]
+        assert len(buffer) == 2
+        assert buffer.merged_per_point == 1
+
+    @pytest.mark.parametrize("bad", [0, 2, 3, 5, 7])
+    def test_invalid_max_points_rejected(self, bad):
+        with pytest.raises(ObservabilityError):
+            SeriesBuffer(max_points=bad)
+
+    def test_downsampling_halves_and_averages(self):
+        buffer = SeriesBuffer(max_points=4)
+        for i in range(4):
+            buffer.append(float(i), float(i) * 10.0)
+        buffer.append(4.0, 40.0)  # triggers one downsample, then appends
+        assert buffer.merged_per_point == 2
+        # Pairs (0,1) and (2,3) averaged, then the new raw point.
+        assert buffer.times == [0.5, 2.5, 4.0]
+        assert buffer.values == [5.0, 25.0, 40.0]
+
+    def test_buffer_stays_bounded_over_long_runs(self):
+        buffer = SeriesBuffer(max_points=8)
+        for i in range(10_000):
+            buffer.append(float(i), float(i))
+        assert len(buffer) <= 8
+        # Coverage is never truncated: earliest point still represents t~0.
+        assert buffer.times[0] < buffer.times[-1]
+        assert buffer.merged_per_point >= 1024
+
+
+class TestTimeSeriesCollector:
+    def _registry(self):
+        registry = MetricsRegistry()
+        registry.counter("arrivals_total", "Arrivals.", ("unit",)).inc(unit="a")
+        registry.gauge("queue_depth", "Depth.").set(3.0)
+        registry.histogram(
+            "step_seconds", "Step durations.", buckets=DURATION_BUCKETS
+        ).observe(0.001)
+        return registry
+
+    def test_interval_must_be_positive(self):
+        with pytest.raises(ObservabilityError):
+            TimeSeriesCollector(interval_minutes=0.0)
+
+    def test_scrape_records_counters_gauges_and_histogram_counts(self):
+        registry = self._registry()
+        collector = TimeSeriesCollector(interval_minutes=10.0)
+        collector.scrape(5.0, registry)
+        assert "arrivals_total{unit=a}" in collector
+        assert "queue_depth" in collector
+        assert "step_seconds_count" in collector
+        assert collector.values("arrivals_total{unit=a}") == [1.0]
+        assert collector.values("step_seconds_count") == [1.0]
+        assert collector.kind("queue_depth") == "gauge"
+        assert collector.kind("step_seconds_count") == "histogram"
+        assert len(collector) == 3
+        assert collector.labels() == sorted(collector.labels())
+
+    def test_maybe_scrape_honours_cadence(self):
+        registry = self._registry()
+        collector = TimeSeriesCollector(interval_minutes=10.0)
+        assert collector.maybe_scrape(0.0, registry) is True
+        assert collector.maybe_scrape(5.0, registry) is False  # not due yet
+        assert collector.maybe_scrape(10.0, registry) is True
+        assert collector.scrape_count == 2
+        assert collector.values("queue_depth") == [3.0, 3.0]
+
+    def test_rewind_reenables_scrapes_after_clock_restart(self):
+        registry = self._registry()
+        collector = TimeSeriesCollector(interval_minutes=10.0)
+        collector.scrape(1000.0, registry)
+        # A second sequential sub-run restarts the sim clock at zero.
+        assert collector.maybe_scrape(0.0, registry) is False
+        collector.rewind(0.0)
+        assert collector.maybe_scrape(0.0, registry) is True
+        # Rewinding to a *later* time than next_due is a no-op.
+        before = collector.next_due
+        collector.rewind(before + 100.0)
+        assert collector.next_due == before
+
+    def test_include_filter_limits_scraped_metrics(self):
+        registry = self._registry()
+        collector = TimeSeriesCollector(
+            interval_minutes=10.0, include=["queue_depth"]
+        )
+        collector.scrape(0.0, registry)
+        assert collector.labels() == ["queue_depth"]
+
+    def test_get_and_values_on_unknown_label(self):
+        collector = TimeSeriesCollector()
+        assert collector.get("nope") is None
+        assert collector.values("nope") == []
+        assert "nope" not in collector
+
+    def test_next_due_starts_at_minus_infinity(self):
+        assert TimeSeriesCollector().next_due == -math.inf
+
+    def test_to_dict_from_dict_roundtrip(self):
+        registry = self._registry()
+        collector = TimeSeriesCollector(interval_minutes=10.0, max_points=8)
+        for t in (0.0, 10.0, 20.0):
+            collector.scrape(t, registry)
+        payload = collector.to_dict()
+        rebuilt = TimeSeriesCollector.from_dict(payload)
+        assert rebuilt.interval_minutes == 10.0
+        assert rebuilt.scrape_count == 3
+        assert rebuilt.labels() == collector.labels()
+        for label in collector.labels():
+            assert rebuilt.values(label) == collector.values(label)
+            assert rebuilt.kind(label) == collector.kind(label)
+        # Exports must survive JSON encode/decode unchanged.
+        import json
+
+        assert json.loads(json.dumps(payload)) == payload
+
+    def test_from_dict_rejects_malformed_payloads(self):
+        with pytest.raises(ObservabilityError):
+            TimeSeriesCollector.from_dict({})
+        with pytest.raises(ObservabilityError):
+            TimeSeriesCollector.from_dict(
+                {
+                    "interval_minutes": 10.0,
+                    "scrape_count": 1,
+                    "series": {"x": {"kind": "gauge", "t": [0.0, 1.0], "v": [1.0]}},
+                }
+            )

@@ -1,0 +1,137 @@
+"""Tests for the self-contained HTML dashboard writer."""
+
+import json
+
+import pytest
+
+from repro.obs.metrics import DURATION_BUCKETS, MetricsRegistry
+from repro.obs.timeseries import TimeSeriesCollector
+from repro.report.dashboard import render_dashboard, write_dashboard
+
+
+def _payload(n_units: int = 2, scrapes: int = 6) -> dict:
+    """Build one dashboard payload from a local registry + collector."""
+    registry = MetricsRegistry()
+    events = registry.counter("engine_events_total", "Events.", ("label",))
+    density = registry.gauge(
+        "store_importance_density", "Density.", ("unit",)
+    )
+    occupancy = registry.gauge("store_occupancy_ratio", "Occupancy.", ("unit",))
+    step = registry.histogram(
+        "engine_callback_seconds", "Step.", ("label",), buckets=DURATION_BUCKETS
+    )
+    collector = TimeSeriesCollector(interval_minutes=10.0)
+    for i in range(scrapes):
+        events.inc(label="arrival")
+        step.observe(0.001 * (i + 1), label="arrival")
+        for u in range(n_units):
+            density.set(0.1 * (i + u), unit=f"node-{u:02d}")
+            occupancy.set(min(1.0, 0.15 * (i + u)), unit=f"node-{u:02d}")
+        collector.scrape(i * 10.0, registry)
+    return {
+        "experiment": "demo",
+        "metrics": registry.to_dict(),
+        "timeseries": collector.to_dict(),
+        "spans": {"engine.run": {"count": 1.0, "total_s": 0.5, "mean_s": 0.5,
+                                 "min_s": 0.5, "max_s": 0.5}},
+        "profile": {"engine.step": {"count": 6.0, "total_s": 0.021,
+                                    "mean_s": 0.0035, "min_s": 0.001,
+                                    "max_s": 0.006}},
+    }
+
+
+class TestRenderDashboard:
+    def test_contains_every_section(self):
+        html = render_dashboard([_payload()])
+        assert html.startswith("<!DOCTYPE html>")
+        for needle in (
+            "== demo ==",
+            "Density over time",
+            "Per-unit occupancy",
+            "Collected time series",
+            "Phase profile",
+            "Histogram percentiles",
+            "events dispatched",
+        ):
+            assert needle in html, needle
+
+    def test_is_self_contained(self):
+        html = render_dashboard([_payload()])
+        assert "http://" not in html
+        assert "https://" not in html
+        assert "<script" not in html
+        assert "<style>" in html  # all styling is inline
+
+    def test_styles_both_color_schemes(self):
+        html = render_dashboard([_payload()])
+        assert "prefers-color-scheme: dark" in html
+
+    def test_few_units_render_an_overlay_with_legend(self):
+        html = render_dashboard([_payload(n_units=2)])
+        assert 'class="legend"' in html
+        assert "density heatmap" not in html
+
+    def test_many_units_switch_to_a_heatmap(self):
+        html = render_dashboard([_payload(n_units=5)])
+        assert "density heatmap" in html
+        assert 'class="legend"' not in html
+
+    def test_marks_carry_native_tooltips(self):
+        html = render_dashboard([_payload()])
+        assert "<title>" in html
+
+    def test_experiment_names_are_escaped(self):
+        payload = _payload()
+        payload["experiment"] = "<script>alert(1)</script>"
+        html = render_dashboard([payload])
+        assert "<script>alert(1)</script>" not in html
+        assert "&lt;script&gt;" in html
+
+    def test_empty_payload_list(self):
+        html = render_dashboard([])
+        assert "(no payloads)" in html
+
+    def test_metrics_only_payload_renders_without_timeseries(self):
+        payload = _payload()
+        del payload["timeseries"]
+        html = render_dashboard([payload])
+        assert "Collected time series" not in html
+        assert "Per-unit occupancy" in html  # final gauges still render
+
+    def test_multiple_payloads_get_one_section_each(self):
+        first, second = _payload(), _payload()
+        second["experiment"] = "other"
+        html = render_dashboard([first, second])
+        assert "== demo ==" in html and "== other ==" in html
+
+
+class TestWriteDashboard:
+    def test_writes_file_and_creates_parents(self, tmp_path):
+        target = tmp_path / "nested" / "dash.html"
+        returned = write_dashboard(str(target), [_payload()], title="My run")
+        assert returned == str(target)
+        text = target.read_text()
+        assert "<title>My run</title>" in text
+
+    def test_payload_survives_json_roundtrip(self, tmp_path):
+        payload = json.loads(json.dumps(_payload()))
+        html = render_dashboard([payload])
+        assert "Histogram percentiles" in html
+
+    def test_truncated_grid_is_captioned(self):
+        from repro.report import dashboard as mod
+
+        payload = _payload(n_units=3)
+        # Inflate the occupancy gauge well past the grid cap.
+        registry = MetricsRegistry()
+        gauge = registry.gauge("store_occupancy_ratio", "O.", ("unit",))
+        for u in range(mod.MAX_GRID_CELLS + 5):
+            gauge.set(0.5, unit=f"node-{u:04d}")
+        payload["metrics"] = registry.to_dict()
+        html = render_dashboard([payload])
+        assert f"showing {mod.MAX_GRID_CELLS} of {mod.MAX_GRID_CELLS + 5}" in html
+
+    @pytest.mark.parametrize("n_units", [1, 4])
+    def test_boundary_unit_counts_render(self, n_units):
+        html = render_dashboard([_payload(n_units=n_units)])
+        assert "Density over time" in html
