@@ -1,4 +1,4 @@
-.PHONY: install test unit obs-smoke bench bench-baseline bench-check examples figures lint clean
+.PHONY: install test unit test-parallel obs-smoke bench bench-baseline bench-check examples figures lint clean
 
 install:
 	pip install -e '.[test]'
@@ -10,6 +10,16 @@ test: lint unit obs-smoke
 # editable install (PYTHONPATH picks up src/).
 unit:
 	PYTHONPATH=src$${PYTHONPATH:+:$$PYTHONPATH} python -m pytest -x -q
+
+# The run-spec/parallel-executor surface: RunSpec unit tests, CLI
+# --jobs/sweep coverage, obs merge semantics, and the jobs-parity
+# determinism suite (serial vs pooled artifacts byte-identical).
+test-parallel:
+	PYTHONPATH=src$${PYTHONPATH:+:$$PYTHONPATH} python -m pytest -q \
+		tests/sim/test_parallel.py \
+		tests/experiments/test_cli.py \
+		tests/obs/test_metrics.py tests/obs/test_timeseries.py \
+		tests/integration/test_parallel_determinism.py
 
 # End-to-end observability smoke: metrics + tracing + time series + logs.
 obs-smoke:

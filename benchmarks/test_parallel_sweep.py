@@ -1,0 +1,40 @@
+"""Bench: the parallel sweep executor — serial vs pooled wall time.
+
+Runs the same two-spec fig6 batch inline (``jobs=1``) and through a
+worker pool (``jobs=4``), recording both wall times in the perf
+baselines.  On multi-core hosts the pooled run amortises the spawn cost
+across specs; on a single core it measures the executor's overhead
+ceiling.  Either way the rendered artifacts are identical by
+construction (see ``tests/integration/test_parallel_determinism.py``),
+so the checksum gate doubles as a determinism check.
+"""
+
+from benchmarks.conftest import run_once
+from repro.sim.parallel import RunSpec, run_specs
+
+SPECS = [
+    RunSpec("fig6", seed=7, horizon_days=120.0),
+    RunSpec("fig6", seed=7, horizon_days=120.0, replica=1),
+]
+
+
+def _run(jobs: int):
+    outcomes = run_specs(SPECS, jobs=jobs)
+    assert all(o.ok for o in outcomes)
+    return outcomes
+
+
+def test_parallel_sweep_jobs1(benchmark, save_artifact):
+    outcomes = run_once(benchmark, _run, 1)
+    save_artifact(
+        "parallel_sweep_jobs1",
+        "\n\n".join(o.rendered for o in outcomes),
+    )
+
+
+def test_parallel_sweep_jobs4(benchmark, save_artifact):
+    outcomes = run_once(benchmark, _run, 4)
+    save_artifact(
+        "parallel_sweep_jobs4",
+        "\n\n".join(o.rendered for o in outcomes),
+    )

@@ -17,7 +17,7 @@ import tempfile
 from pathlib import Path
 
 from repro import obs
-from repro.experiments import fig6_density
+from repro.api import RunSpec, run_experiment
 from repro.report import metrics_summary, render_dashboard
 
 
@@ -33,7 +33,9 @@ def main() -> None:
     # A 60-day fig6 run on the 80 GiB disk: it fills around day 40-50,
     # so the tail of the horizon exercises rejection, preemption, and
     # expiry sweeps.
-    fig6_density.run(capacities_gib=(80,), horizon_days=60.0, seed=7)
+    run_experiment(
+        RunSpec("fig6", params={"capacities_gib": (80,)}, seed=7, horizon_days=60.0)
+    )
     registry = obs.STATE.registry
 
     print(

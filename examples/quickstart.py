@@ -7,8 +7,13 @@ Run with::
     python examples/quickstart.py
 """
 
-from repro import StorageUnit, StoredObject, TwoStepImportance, importance_density
-from repro.core import TemporalImportancePolicy
+from repro.api import (
+    StorageUnit,
+    StoredObject,
+    TemporalImportancePolicy,
+    TwoStepImportance,
+    importance_density,
+)
 from repro.core.density import admission_threshold
 from repro.units import days, gib, to_days
 

@@ -12,6 +12,7 @@ Run with::
 
 import sys
 
+from repro.api import RunSpec, run_experiment
 from repro.experiments import sec53_university
 
 
@@ -19,7 +20,9 @@ def main() -> None:
     scale = float(sys.argv[1]) if len(sys.argv) > 1 else 0.02
     print(f"Running the university-wide scenario at scale={scale:g} "
           "(1.0 = the paper's 2,321 courses on 2,000 desktops)...")
-    result = sec53_university.run(scale=scale, horizon_days=400.0)
+    result = run_experiment(
+        RunSpec("sec53", params={"scale": scale}, seed=7, horizon_days=400.0)
+    )
     print()
     print(sec53_university.render(result))
 

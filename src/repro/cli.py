@@ -5,10 +5,21 @@ Usage::
     repro-sim list
     repro-sim run fig3 [--horizon-days 365] [--seed 42] [--csv out.csv]
     repro-sim run fig6 --metrics-out m.json --trace
-    repro-sim run all
+    repro-sim run all --jobs 4
+    repro-sim sweep fig6 --param capacities_gib=40:80,80:120 --seeds 3 --jobs 4
 
 Each experiment prints the same tables/ASCII charts its driver renders;
 ``--csv`` additionally dumps the primary series for external plotting.
+
+Every run is described by a :class:`repro.sim.parallel.RunSpec`; the
+``EXPERIMENTS`` handlers adapt parsed arguments into specs and dispatch
+through :mod:`repro.experiments.registry`.  ``--jobs N`` executes specs
+in worker processes (``repro.sim.parallel.run_specs``): each worker
+rebuilds a fresh observability STATE, runs its spec, and ships back a
+picklable outcome — so artifacts are byte-identical to a serial run and
+telemetry still lands in ``--metrics-out`` / the dashboard.  ``sweep``
+cross-products ``--param NAME=V1,V2,...`` grids with ``--seeds N``
+replicas into one spec per point.
 
 Observability (see ``docs/observability.md``): ``--metrics-out FILE``
 exports the :mod:`repro.obs` metrics registry after each experiment
@@ -30,266 +41,116 @@ import os
 import sys
 from typing import Any, Callable
 
+from repro.errors import ReproError
+from repro.experiments.registry import names as _registry_names
 from repro.report.csvout import write_csv
+from repro.sim.parallel import (
+    ObsOptions,
+    RunOutcome,
+    RunSpec,
+    expand_sweep,
+    run_specs,
+)
 
 __all__ = ["main", "EXPERIMENTS"]
 
 
-def _fig2(args: argparse.Namespace) -> tuple[Any, str, list]:
-    from repro.experiments import fig2_storage_requirements as mod
-
-    result = mod.run(horizon_days=args.horizon_days, seed=args.seed)
-    rows = [(t, total) for t, total in result.series]
-    return result, mod.render(result), [("t_minutes", "cumulative_bytes"), rows]
-
-
-def _fig3(args: argparse.Namespace) -> tuple[Any, str, list]:
-    from repro.experiments import fig3_lifetimes as mod
-
-    result = mod.run(horizon_days=args.horizon_days, seed=args.seed)
-    rows = [
-        (cap, policy, day, mean, n)
-        for (cap, policy), series in result.series.items()
-        for day, mean, n in series
-    ]
-    return (
-        result,
-        mod.render(result),
-        [("capacity_gib", "policy", "bucket_day", "mean_days", "count"), rows],
+def _spec_from_args(
+    name: str, args: argparse.Namespace, *, obs: ObsOptions | None = None
+) -> RunSpec:
+    """Build the spec one CLI invocation describes."""
+    return RunSpec(
+        name,
+        seed=getattr(args, "seed", 42),
+        horizon_days=getattr(args, "horizon_days", None),
+        obs=obs or ObsOptions(),
     )
 
 
-def _fig4(args: argparse.Namespace) -> tuple[Any, str, list]:
-    from repro.experiments import fig4_rejections as mod
+def _make_handler(name: str) -> Callable[[argparse.Namespace], tuple[Any, str, list]]:
+    """One ``handler(args) -> (result, rendered, [headers, rows])`` adapter.
 
-    result = mod.run(horizon_days=args.horizon_days, seed=args.seed)
-    rows = [
-        (cap, policy, t, count)
-        for (cap, policy), series in result.cumulative.items()
-        for t, count in series
-    ]
-    return (
-        result,
-        mod.render(result),
-        [("capacity_gib", "policy", "t_minutes", "cumulative_rejections"), rows],
-    )
+    The handler contract predates the spec API and is kept stable —
+    tests (and any external callers) invoke and monkeypatch these — but
+    every handler is now a thin shim over the registry dispatch.
+    """
 
+    def handler(args: argparse.Namespace) -> tuple[Any, str, list]:
+        from repro.experiments import registry
 
-def _fig5(args: argparse.Namespace) -> tuple[Any, str, list]:
-    from repro.experiments import fig5_timeconstant as mod
+        return registry.run_cli(_spec_from_args(name, args))
 
-    result = mod.run(horizon_days=args.horizon_days, seed=args.seed)
-    rows = [
-        (name, t, tau)
-        for name, series in result.series.items()
-        for t, tau in series.points
-    ]
-    return result, mod.render(result), [("window", "t_minutes", "tau_minutes"), rows]
-
-
-def _fig6(args: argparse.Namespace) -> tuple[Any, str, list]:
-    from repro.experiments import fig6_density as mod
-
-    result = mod.run(horizon_days=args.horizon_days, seed=args.seed)
-    rows = [
-        (cap, t, density)
-        for cap, series in result.series.items()
-        for t, density in series
-    ]
-    return result, mod.render(result), [("capacity_gib", "t_minutes", "density"), rows]
-
-
-def _fig7(args: argparse.Namespace) -> tuple[Any, str, list]:
-    from repro.experiments import fig7_cdf as mod
-
-    result = mod.run(horizon_days=args.horizon_days, seed=args.seed)
-    rows = list(result.cdf)
-    return result, mod.render(result), [("importance", "cumulative_fraction"), rows]
-
-
-def _fig8(args: argparse.Namespace) -> tuple[Any, str, list]:
-    from repro.experiments import fig8_downloads as mod
-
-    result = mod.run(seed=args.seed)
-    rows = list(result.trace)
-    return result, mod.render(result), [("day", "downloads"), rows]
-
-
-def _table1(args: argparse.Namespace) -> tuple[Any, str, list]:
-    from repro.experiments import table1_parameters as mod
-
-    result = mod.run()
-    rows = list(result.rows)
-    return result, mod.render(result), [("term", "begin_doy", "t_persist", "t_wane_days"), rows]
-
-
-def _fig9(args: argparse.Namespace) -> tuple[Any, str, list]:
-    from repro.experiments import fig9_lecture_lifetimes as mod
-
-    result = mod.run(horizon_days=args.horizon_days or 5 * 365.0, seed=args.seed)
-    rows = [
-        (cap, creator, day, mean, n)
-        for (cap, creator), series in result.series.items()
-        for day, mean, n in series
-    ]
-    return (
-        result,
-        mod.render(result),
-        [("capacity_gib", "creator", "bucket_day", "mean_days", "count"), rows],
-    )
-
-
-def _fig10(args: argparse.Namespace) -> tuple[Any, str, list]:
-    from repro.experiments import fig10_reclamation_importance as mod
-
-    result = mod.run(horizon_days=args.horizon_days or 5 * 365.0, seed=args.seed)
-    rows = [
-        (cap, policy, day, imp, n)
-        for (cap, policy), series in result.series.items()
-        for day, imp, n in series
-    ]
-    return (
-        result,
-        mod.render(result),
-        [("capacity_gib", "policy", "bucket_day", "mean_importance", "count"), rows],
-    )
-
-
-def _fig11(args: argparse.Namespace) -> tuple[Any, str, list]:
-    from repro.experiments import fig11_lecture_timeconstant as mod
-
-    result = mod.run(horizon_days=args.horizon_days or 3 * 365.0, seed=args.seed)
-    rows = [
-        (name, t, tau)
-        for name, series in result.series.items()
-        for t, tau in series.points
-    ]
-    return result, mod.render(result), [("window", "t_minutes", "tau_minutes"), rows]
-
-
-def _fig12(args: argparse.Namespace) -> tuple[Any, str, list]:
-    from repro.experiments import fig12_lecture_density as mod
-
-    result = mod.run(horizon_days=args.horizon_days or 5 * 365.0, seed=args.seed)
-    rows = [
-        (cap, t, density)
-        for cap, series in result.series.items()
-        for t, density in series
-    ]
-    return result, mod.render(result), [("capacity_gib", "t_minutes", "density"), rows]
-
-
-def _sec53(args: argparse.Namespace) -> tuple[Any, str, list]:
-    from repro.experiments import sec53_university as mod
-
-    result = mod.run(horizon_days=args.horizon_days or 400.0, seed=args.seed)
-    rows = [
-        (cap, stats.placed, stats.rejected, stats.mean_density)
-        for cap, stats in result.stats.items()
-    ]
-    return (
-        result,
-        mod.render(result),
-        [("node_capacity_gib", "placed", "rejected", "mean_density"), rows],
-    )
-
-
-def _ext_mixed(args: argparse.Namespace) -> tuple[Any, str, list]:
-    from repro.experiments import ext_mixed_apps as mod
-
-    result = mod.run(horizon_days=args.horizon_days or 365.0, seed=args.seed)
-    rows = [
-        (name, stats["arrivals"], stats["rejected"], stats["mean_life_days"])
-        for name, stats in result.per_class.items()
-    ]
-    return (
-        result,
-        mod.render(result),
-        [("class", "arrivals", "rejected", "mean_life_days"), rows],
-    )
-
-
-def _ext_churn(args: argparse.Namespace) -> tuple[Any, str, list]:
-    from repro.experiments import ext_churn as mod
-
-    result = mod.run(horizon_days=args.horizon_days or 365.0, seed=args.seed)
-    rows = [
-        ("placed", result.placed),
-        ("rejected", result.rejected),
-        ("preempted", result.preempted),
-        ("lost_to_departures", result.lost_to_departures),
-    ]
-    return result, mod.render(result), [("metric", "value"), rows]
-
-
-def _ext_refresh(args: argparse.Namespace) -> tuple[Any, str, list]:
-    from repro.experiments import ext_refresh as mod
-
-    result = mod.run(horizon_days=args.horizon_days or 200.0, seed=args.seed)
-    rows = [
-        (window, safety, o.registered, o.lost, o.refreshes)
-        for (window, safety), o in sorted(result.outcomes.items())
-    ]
-    return (
-        result,
-        mod.render(result),
-        [("window", "safety", "registered", "lost", "refreshes"), rows],
-    )
-
-
-def _ext_reads(args: argparse.Namespace) -> tuple[Any, str, list]:
-    from repro.experiments import ext_reads as mod
-
-    result = mod.run(seed=args.seed)
-    rows = [
-        (name, stats["hit_rate"], stats["hits"], stats["misses_never_stored"],
-         stats["misses_evicted"])
-        for name, stats in result.per_policy.items()
-    ]
-    return (
-        result,
-        mod.render(result),
-        [("variant", "hit_rate", "hits", "missed_never_stored", "missed_evicted"),
-         rows],
-    )
-
-
-def _ext_advisor(args: argparse.Namespace) -> tuple[Any, str, list]:
-    from repro.experiments import ext_advisor_loop as mod
-
-    result = mod.run(horizon_days=args.horizon_days or 200.0, seed=args.seed)
-    rows = [
-        (label, stats["admission_rate"], stats["mean_life_days"],
-         stats["mean_importance"])
-        for label, stats in result.per_strategy.items()
-    ]
-    return (
-        result,
-        mod.render(result),
-        [("strategy", "admission_rate", "mean_life_days", "mean_importance"), rows],
-    )
+    handler.__name__ = "_" + name.replace("-", "_")
+    handler.__doc__ = f"Run {name} from parsed CLI arguments (registry shim)."
+    return handler
 
 
 EXPERIMENTS: dict[str, Callable[[argparse.Namespace], tuple[Any, str, list]]] = {
-    "fig2": _fig2,
-    "fig3": _fig3,
-    "fig4": _fig4,
-    "fig5": _fig5,
-    "fig6": _fig6,
-    "fig7": _fig7,
-    "fig8": _fig8,
-    "table1": _table1,
-    "fig9": _fig9,
-    "fig10": _fig10,
-    "fig11": _fig11,
-    "fig12": _fig12,
-    "sec53": _sec53,
-    "ext-mixed": _ext_mixed,
-    "ext-churn": _ext_churn,
-    "ext-refresh": _ext_refresh,
-    "ext-reads": _ext_reads,
-    "ext-advisor": _ext_advisor,
+    name: _make_handler(name) for name in _registry_names()
 }
+
+
+def _add_run_flags(parser: argparse.ArgumentParser) -> None:
+    """Flags shared by the ``run`` and ``sweep`` subcommands."""
+    parser.add_argument(
+        "--horizon-days",
+        type=float,
+        default=None,
+        help="simulated horizon (defaults per experiment; paper scale is 5*365)",
+    )
+    parser.add_argument("--seed", type=int, default=42, help="workload RNG seed")
+    parser.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        metavar="N",
+        help="run specs in N worker processes (default: 1, inline)",
+    )
+    parser.add_argument(
+        "--csv", type=str, default=None, help="also write the primary series to CSV"
+    )
+    parser.add_argument(
+        "--metrics-out",
+        type=str,
+        default=None,
+        metavar="FILE",
+        help="export the metrics registry per experiment (JSON; .prom for "
+        "Prometheus text)",
+    )
+    parser.add_argument(
+        "--trace",
+        action="store_true",
+        help="record wall-clock spans and print them after each experiment",
+    )
+    parser.add_argument(
+        "--dashboard-out",
+        type=str,
+        default=None,
+        metavar="FILE",
+        help="write a self-contained HTML dashboard (implies metrics + "
+        "time-series collection)",
+    )
+    parser.add_argument(
+        "--scrape-interval-days",
+        type=float,
+        default=1.0,
+        metavar="DAYS",
+        help="sim-time cadence for time-series scrapes (default: 1 day)",
+    )
+    parser.add_argument(
+        "--log-level",
+        choices=["debug", "info", "warning", "error"],
+        default=None,
+        help="emit structured JSONL events at this level (default: off)",
+    )
+    parser.add_argument(
+        "--log-file",
+        type=str,
+        default=None,
+        metavar="FILE",
+        help="append JSONL events to FILE (default: stderr; implies "
+        "--log-level info)",
+    )
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -304,58 +165,27 @@ def build_parser() -> argparse.ArgumentParser:
     sub.add_parser("list", help="list available experiments")
     run_parser = sub.add_parser("run", help="run one experiment (or 'all')")
     run_parser.add_argument("experiment", choices=[*EXPERIMENTS, "all"])
-    run_parser.add_argument(
-        "--horizon-days",
-        type=float,
+    _add_run_flags(run_parser)
+    sweep_parser = sub.add_parser(
+        "sweep", help="cross-product a parameter grid x seed replicas"
+    )
+    sweep_parser.add_argument("experiment", choices=list(EXPERIMENTS))
+    sweep_parser.add_argument(
+        "--param",
+        action="append",
         default=None,
-        help="simulated horizon (defaults per experiment; paper scale is 5*365)",
+        metavar="NAME=V1,V2,...",
+        help="sweep one driver parameter over comma-separated values "
+        "(repeatable; A:B makes a tuple value, e.g. capacities_gib=80:120)",
     )
-    run_parser.add_argument("--seed", type=int, default=42, help="workload RNG seed")
-    run_parser.add_argument(
-        "--csv", type=str, default=None, help="also write the primary series to CSV"
+    sweep_parser.add_argument(
+        "--seeds",
+        type=int,
+        default=1,
+        metavar="N",
+        help="seed replicas per grid point (replica 0 uses --seed as-is)",
     )
-    run_parser.add_argument(
-        "--metrics-out",
-        type=str,
-        default=None,
-        metavar="FILE",
-        help="export the metrics registry per experiment (JSON; .prom for "
-        "Prometheus text)",
-    )
-    run_parser.add_argument(
-        "--trace",
-        action="store_true",
-        help="record wall-clock spans and print them after each experiment",
-    )
-    run_parser.add_argument(
-        "--dashboard-out",
-        type=str,
-        default=None,
-        metavar="FILE",
-        help="write a self-contained HTML dashboard (implies metrics + "
-        "time-series collection)",
-    )
-    run_parser.add_argument(
-        "--scrape-interval-days",
-        type=float,
-        default=1.0,
-        metavar="DAYS",
-        help="sim-time cadence for time-series scrapes (default: 1 day)",
-    )
-    run_parser.add_argument(
-        "--log-level",
-        choices=["debug", "info", "warning", "error"],
-        default=None,
-        help="emit structured JSONL events at this level (default: off)",
-    )
-    run_parser.add_argument(
-        "--log-file",
-        type=str,
-        default=None,
-        metavar="FILE",
-        help="append JSONL events to FILE (default: stderr; implies "
-        "--log-level info)",
-    )
+    _add_run_flags(sweep_parser)
     dash_parser = sub.add_parser(
         "dashboard", help="rebuild an HTML dashboard from a run's metrics JSON"
     )
@@ -373,6 +203,54 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
+def _obs_options(args: argparse.Namespace) -> ObsOptions:
+    """Translate CLI flags into per-spec observability options."""
+    requested = bool(
+        args.metrics_out
+        or args.trace
+        or args.log_level
+        or args.log_file
+        or args.dashboard_out
+    )
+    if not requested:
+        return ObsOptions()
+    return ObsOptions(
+        metrics=True,
+        trace=bool(args.trace),
+        scrape_interval_days=args.scrape_interval_days,
+        log_level=args.log_level,
+        log_file=args.log_file,
+    )
+
+
+def _coerce_param_value(text: str) -> Any:
+    """``--param`` value literal: bool/int/float/str, ``A:B`` -> tuple."""
+    if ":" in text:
+        return tuple(_coerce_param_value(part) for part in text.split(":"))
+    lowered = text.strip().lower()
+    if lowered in {"true", "false"}:
+        return lowered == "true"
+    for cast in (int, float):
+        try:
+            return cast(text)
+        except ValueError:
+            continue
+    return text
+
+
+def _parse_param_grid(entries: list[str] | None) -> dict[str, list[Any]]:
+    grid: dict[str, list[Any]] = {}
+    for entry in entries or ():
+        name, sep, values = entry.partition("=")
+        name = name.strip()
+        if not sep or not name or not values:
+            raise ReproError(f"--param expects NAME=V1[,V2,...], got {entry!r}")
+        if name in grid:
+            raise ReproError(f"duplicate --param {name!r}")
+        grid[name] = [_coerce_param_value(v) for v in values.split(",")]
+    return grid
+
+
 def _metrics_path(base: str, name: str, multiple: bool) -> str:
     if not multiple:
         return base
@@ -380,30 +258,37 @@ def _metrics_path(base: str, name: str, multiple: bool) -> str:
     return f"{root}-{name}{ext or '.json'}"
 
 
-def _write_metrics(path: str, experiment: str, trace: bool) -> None:
-    from repro import obs
+def _write_metrics_payload(path: str, payload: dict[str, Any], trace: bool) -> None:
+    """Write one telemetry payload as ``--metrics-out`` JSON or .prom text."""
+    from repro.obs import MetricsRegistry
 
     parent = os.path.dirname(path)
     if parent:
         os.makedirs(parent, exist_ok=True)
     if path.endswith(".prom"):
+        registry = MetricsRegistry.from_dict(payload["metrics"])
         with open(path, "w", encoding="utf-8") as fh:
-            fh.write(obs.STATE.registry.to_prometheus_text())
+            fh.write(registry.to_prometheus_text())
         return
-    payload: dict[str, Any] = {
-        "experiment": experiment,
-        "metrics": obs.STATE.registry.to_dict(),
-    }
-    if trace:
-        payload["spans"] = obs.STATE.tracer.aggregates()
-    if obs.STATE.timeseries is not None:
-        payload["timeseries"] = obs.STATE.timeseries.to_dict()
-    profile = obs.STATE.profiler.aggregates()
-    if profile:
-        payload["profile"] = profile
+    data = dict(payload)
+    if not trace:
+        data.pop("spans", None)
+    if not data.get("profile"):
+        data.pop("profile", None)
     with open(path, "w", encoding="utf-8") as fh:
-        json.dump(payload, fh, indent=2)
+        json.dump(data, fh, indent=2)
         fh.write("\n")
+
+
+def _write_metrics(path: str, experiment: str, trace: bool) -> None:
+    """Serial-path export: snapshot the live obs STATE and write it."""
+    from repro import obs
+
+    _write_metrics_payload(path, obs.export_payload(experiment), trace)
+
+
+def _csv_path(base: str, label: str, multiple: bool) -> str:
+    return base if not multiple else f"{base.rstrip('.csv')}-{label}.csv"
 
 
 def _dashboard_from_dir(run_dir: str, out: str | None) -> int:
@@ -444,24 +329,9 @@ def _dashboard_from_dir(run_dir: str, out: str | None) -> int:
     return 0
 
 
-def main(argv: list[str] | None = None) -> int:
-    """CLI entry point; returns a process exit code."""
-    args = build_parser().parse_args(argv)
-    if args.command == "list":
-        for name in EXPERIMENTS:
-            print(name)
-        return 0
-    if args.command == "dashboard":
-        return _dashboard_from_dir(args.run_dir, args.out)
-
-    names = list(EXPERIMENTS) if args.experiment == "all" else [args.experiment]
-    obs_requested = bool(
-        args.metrics_out
-        or args.trace
-        or args.log_level
-        or args.log_file
-        or args.dashboard_out
-    )
+def _run_serial(names: list[str], args: argparse.Namespace) -> int:
+    """The historical inline path: one experiment at a time, live obs STATE."""
+    obs_requested = _obs_options(args).enabled
     if obs_requested:
         from repro import obs
         from repro.obs import TimeSeriesCollector
@@ -472,7 +342,6 @@ def main(argv: list[str] | None = None) -> int:
             obs.configure_logging(
                 args.log_level or "info", args.log_file or sys.stderr
             )
-    requested_horizon = args.horizon_days
     dashboard_payloads: list[dict[str, Any]] = []
     try:
         for name in names:
@@ -483,19 +352,12 @@ def main(argv: list[str] | None = None) -> int:
                 obs.STATE.timeseries = TimeSeriesCollector(
                     interval_minutes=args.scrape_interval_days * 1440.0
                 )
-            args.horizon_days = (
-                requested_horizon
-                if requested_horizon is not None
-                else 365.0
-                if name in {"fig2", "fig3", "fig4", "fig5", "fig6", "fig7"}
-                else None
-            )
             _result, rendered, (headers, rows) = EXPERIMENTS[name](args)
             print(f"== {name} ==")
             print(rendered)
             print()
             if args.csv is not None:
-                path = args.csv if len(names) == 1 else f"{args.csv.rstrip('.csv')}-{name}.csv"
+                path = _csv_path(args.csv, name, len(names) > 1)
                 write_csv(path, headers, rows)
                 print(f"[csv written to {path}]")
             if obs_requested:
@@ -524,6 +386,128 @@ def main(argv: list[str] | None = None) -> int:
             obs.STATE.logger.close()
             obs.disable()
     return 0
+
+
+def _run_parallel(specs: list[RunSpec], args: argparse.Namespace, *, sweep: bool) -> int:
+    """Execute specs via the pool and emit outcomes in submission order.
+
+    Printed experiment output and CSV artifacts are byte-identical to
+    the serial path; telemetry comes back as per-worker payloads, which
+    are written per spec and additionally merged
+    (:meth:`MetricsRegistry.merge` / :meth:`TimeSeriesCollector.merge`)
+    into one cross-spec summary and ``-merged`` metrics file.
+    """
+    multiple = len(specs) > 1
+    obs_on = any(spec.obs.enabled for spec in specs)
+    outcomes = run_specs(specs, jobs=args.jobs)
+    failures: list[RunOutcome] = []
+    dashboard_payloads: list[dict[str, Any]] = []
+    merged_registry = None
+    merged_timeseries = None
+    if obs_on:
+        from repro.obs import (
+            MetricsRegistry,
+            TimeSeriesCollector,
+            render_aggregates,
+        )
+        from repro.report.metrics import metrics_summary
+
+        merged_registry = MetricsRegistry()
+    for outcome in outcomes:
+        label = outcome.spec.slug() if sweep else outcome.spec.experiment
+        print(f"== {label} ==")
+        if not outcome.ok:
+            failures.append(outcome)
+            print(f"[failed: {outcome.error.render()}]")
+            print()
+            continue
+        print(outcome.rendered)
+        print()
+        if args.csv is not None:
+            path = _csv_path(args.csv, label, multiple)
+            write_csv(path, list(outcome.headers), [list(row) for row in outcome.rows])
+            print(f"[csv written to {path}]")
+        if outcome.telemetry is None:
+            continue
+        registry = MetricsRegistry.from_dict(outcome.telemetry["metrics"])
+        timeseries = None
+        if "timeseries" in outcome.telemetry:
+            timeseries = TimeSeriesCollector.from_dict(outcome.telemetry["timeseries"])
+        print(metrics_summary(registry, timeseries=timeseries))
+        print()
+        if args.trace:
+            print(render_aggregates(outcome.telemetry.get("spans", {})))
+            print()
+        if args.metrics_out is not None:
+            path = _metrics_path(args.metrics_out, label, multiple)
+            _write_metrics_payload(path, outcome.telemetry, args.trace)
+            print(f"[metrics written to {path}]")
+        if args.dashboard_out is not None:
+            dashboard_payloads.append(outcome.telemetry)
+        merged_registry.merge(registry)
+        if timeseries is not None:
+            if merged_timeseries is None:
+                merged_timeseries = timeseries
+            else:
+                merged_timeseries.merge(timeseries)
+    if obs_on and multiple and len(merged_registry):
+        print("== merged (all specs) ==")
+        print(metrics_summary(merged_registry, timeseries=merged_timeseries))
+        print()
+        if args.metrics_out is not None:
+            merged_payload: dict[str, Any] = {
+                "experiment": "merged",
+                "metrics": merged_registry.to_dict(),
+            }
+            if merged_timeseries is not None:
+                merged_payload["timeseries"] = merged_timeseries.to_dict()
+            path = _metrics_path(args.metrics_out, "merged", True)
+            _write_metrics_payload(path, merged_payload, trace=False)
+            print(f"[metrics written to {path}]")
+    if args.dashboard_out is not None and dashboard_payloads:
+        from repro.report.dashboard import write_dashboard
+
+        write_dashboard(args.dashboard_out, dashboard_payloads)
+        print(f"[dashboard written to {args.dashboard_out}]")
+    for outcome in failures:
+        label = outcome.spec.slug() if sweep else outcome.spec.experiment
+        print(f"[{label} failed: {outcome.error.render()}]", file=sys.stderr)
+        if outcome.error.traceback:
+            print(outcome.error.traceback, file=sys.stderr, end="")
+    return 1 if failures else 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    args = build_parser().parse_args(argv)
+    if args.command == "list":
+        for name in EXPERIMENTS:
+            print(name)
+        return 0
+    if args.command == "dashboard":
+        return _dashboard_from_dir(args.run_dir, args.out)
+    if args.command == "sweep":
+        try:
+            grid = _parse_param_grid(args.param)
+            specs = expand_sweep(
+                args.experiment,
+                grid=grid,
+                seeds=args.seeds,
+                base_seed=args.seed,
+                horizon_days=args.horizon_days,
+                obs=_obs_options(args),
+            )
+        except ReproError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+        return _run_parallel(specs, args, sweep=True)
+
+    names = list(EXPERIMENTS) if args.experiment == "all" else [args.experiment]
+    if args.jobs > 1:
+        obs_opts = _obs_options(args)
+        specs = [_spec_from_args(name, args, obs=obs_opts) for name in names]
+        return _run_parallel(specs, args, sweep=False)
+    return _run_serial(names, args)
 
 
 if __name__ == "__main__":  # pragma: no cover - exercised via __main__

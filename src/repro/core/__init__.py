@@ -29,7 +29,7 @@ from repro.core.annotations import (
     annotation_to_dict,
     validate_importance_function,
 )
-from repro.core.store import AdmissionResult, EvictionRecord, StorageUnit
+from repro.core.store import AdmissionResult, EvictionRecord, StorageUnit, StoreStats
 from repro.core.density import (
     byte_importance_snapshot,
     importance_density,
@@ -69,6 +69,7 @@ __all__ = [
     "ScaledImportance",
     "StepWaneImportance",
     "StorageUnit",
+    "StoreStats",
     "StoredObject",
     "TemporalImportancePolicy",
     "TwoStepImportance",

@@ -20,7 +20,45 @@ from repro.core.policy import AdmissionPlan, EvictionPolicy
 from repro.errors import CapacityError, UnknownObjectError
 from repro.obs import COUNT_BUCKETS, STATE as _OBS
 
-__all__ = ["EvictionRecord", "RejectionRecord", "AdmissionResult", "StorageUnit"]
+__all__ = ["EvictionRecord", "RejectionRecord", "AdmissionResult", "StorageUnit", "StoreStats"]
+
+
+@dataclass(frozen=True)
+class StoreStats:
+    """One frozen snapshot of a unit's monotonic counters and occupancy.
+
+    This is the stable read surface for reports, probes and tests —
+    consumers take one consistent snapshot instead of poking individual
+    attributes that may change between reads.  Snapshots are plain
+    picklable data, so they also cross process boundaries in parallel
+    runs.
+    """
+
+    unit: str
+    capacity_bytes: int
+    used_bytes: int
+    resident_count: int
+    accepted_count: int
+    rejected_count: int
+    evicted_count: int
+    bytes_accepted: int
+    bytes_evicted: int
+    bytes_rejected: int
+
+    @property
+    def free_bytes(self) -> int:
+        """Unallocated bytes at snapshot time."""
+        return self.capacity_bytes - self.used_bytes
+
+    @property
+    def utilization(self) -> float:
+        """Fraction of raw capacity occupied, in ``[0, 1]``."""
+        return self.used_bytes / self.capacity_bytes
+
+    @property
+    def offered_count(self) -> int:
+        """Total objects ever offered (accepted + rejected)."""
+        return self.accepted_count + self.rejected_count
 
 
 @dataclass(frozen=True)
@@ -167,6 +205,21 @@ class StorageUnit:
     def utilization(self) -> float:
         """Fraction of raw capacity occupied, in ``[0, 1]``."""
         return self._used_bytes / self.capacity_bytes
+
+    def stats(self) -> StoreStats:
+        """One consistent :class:`StoreStats` snapshot of this unit."""
+        return StoreStats(
+            unit=self.name,
+            capacity_bytes=self.capacity_bytes,
+            used_bytes=self._used_bytes,
+            resident_count=len(self._residents),
+            accepted_count=self.accepted_count,
+            rejected_count=self.rejected_count,
+            evicted_count=self.evicted_count,
+            bytes_accepted=self.bytes_accepted,
+            bytes_evicted=self.bytes_evicted,
+            bytes_rejected=self.bytes_rejected,
+        )
 
     # -- mutation ----------------------------------------------------------
 

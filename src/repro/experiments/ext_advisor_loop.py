@@ -34,8 +34,9 @@ from repro.sim.runner import run_single_store
 from repro.sim.workload.mixer import merge_streams
 from repro.sim.workload.single_app import RateRamp, SingleAppWorkload
 from repro.units import days, gib, to_days
+from repro.sim.parallel import RunSpec
 
-__all__ = ["AdvisorLoopResult", "run", "render"]
+__all__ = ["AdvisorLoopResult", "execute", "run", "render"]
 
 #: Each producer asks for the same temporal shape; only `p` varies.
 PERSIST_DAYS = 10.0
@@ -127,7 +128,7 @@ def _run_strategy(
     }
 
 
-def run(
+def _run(
     *, capacity_gib: int = 40, horizon_days: float = 200.0, seed: int = 42
 ) -> AdvisorLoopResult:
     """Compare static annotations against the advisor-driven loop."""
@@ -181,3 +182,13 @@ def render(result: AdvisorLoopResult) -> str:
             ]
         )
     return table.render()
+
+
+def execute(spec: RunSpec) -> AdvisorLoopResult:
+    """Run this experiment from a :class:`RunSpec` (the stable entry point)."""
+    return _run(**spec.call_kwargs())
+
+
+def run(**kwargs) -> AdvisorLoopResult:
+    """Deprecated ``run(**kwargs)`` shim; use :func:`execute` with a spec."""
+    return execute(RunSpec.from_kwargs("ext-advisor", **kwargs))

@@ -25,8 +25,9 @@ from repro.sim.recorder import Recorder
 from repro.sim.workload.lecture import LectureConfig
 from repro.sim.workload.university import UniversityConfig, UniversityWorkload
 from repro.units import days, gib, to_days, to_gib
+from repro.sim.parallel import RunSpec
 
-__all__ = ["ChurnResult", "run", "render"]
+__all__ = ["ChurnResult", "execute", "run", "render"]
 
 
 @dataclass(frozen=True)
@@ -48,7 +49,7 @@ class ChurnResult:
     final_density: float
 
 
-def run(
+def _run(
     *,
     nodes: int = 16,
     node_capacity_gib: int = 8,
@@ -124,3 +125,14 @@ def render(result: ChurnResult) -> str:
     table.add_row(["overlay rebuilds", result.overlay_rebuilds])
     table.add_row(["final density", round(result.final_density, 4)])
     return table.render()
+
+
+def execute(spec: RunSpec) -> ChurnResult:
+    """Run this experiment from a :class:`RunSpec` (the stable entry point)."""
+    return _run(**spec.call_kwargs())
+
+
+def run(**kwargs) -> ChurnResult:
+    """Deprecated ``run(**kwargs)`` shim; use :func:`execute` with a spec."""
+    kwargs.setdefault("seed", 7)
+    return execute(RunSpec.from_kwargs("ext-churn", **kwargs))

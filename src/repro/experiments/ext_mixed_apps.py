@@ -28,8 +28,9 @@ from repro.sim.runner import run_single_store
 from repro.sim.workload.mixer import merge_streams
 from repro.sim.workload.single_app import RateRamp, SingleAppWorkload
 from repro.units import days, gib, to_days
+from repro.sim.parallel import RunSpec
 
-__all__ = ["AppClass", "MixedAppsResult", "APP_CLASSES", "run", "render"]
+__all__ = ["AppClass", "MixedAppsResult", "APP_CLASSES", "execute", "run", "render"]
 
 
 @dataclass(frozen=True)
@@ -71,7 +72,7 @@ class MixedAppsResult:
     mean_density: float
 
 
-def run(
+def _run(
     *,
     capacity_gib: int = 40,
     horizon_days: float = 365.0,
@@ -153,3 +154,13 @@ def render(result: MixedAppsResult) -> str:
             ]
         )
     return table.render()
+
+
+def execute(spec: RunSpec) -> MixedAppsResult:
+    """Run this experiment from a :class:`RunSpec` (the stable entry point)."""
+    return _run(**spec.call_kwargs())
+
+
+def run(**kwargs) -> MixedAppsResult:
+    """Deprecated ``run(**kwargs)`` shim; use :func:`execute` with a spec."""
+    return execute(RunSpec.from_kwargs("ext-mixed", **kwargs))

@@ -39,8 +39,9 @@ from repro.sim.workload.downloads import DownloadTraceConfig
 from repro.sim.workload.lecture import LectureConfig
 from repro.sim.workload.readers import build_read_schedule
 from repro.units import MINUTES_PER_DAY, days, gib
+from repro.sim.parallel import RunSpec
 
-__all__ = ["ReadAvailabilityResult", "run", "render"]
+__all__ = ["ReadAvailabilityResult", "execute", "run", "render"]
 
 def _table1_annotation(t: float):
     """The paper's lecture annotation: flat until the end of the term."""
@@ -72,7 +73,7 @@ class ReadAvailabilityResult:
     per_policy: dict[str, dict[str, float]]
 
 
-def run(
+def _run(
     *,
     capacity_gib: float = 10.0,
     seed: int = 42,
@@ -161,3 +162,13 @@ def render(result: ReadAvailabilityResult) -> str:
             ]
         )
     return table.render()
+
+
+def execute(spec: RunSpec) -> ReadAvailabilityResult:
+    """Run this experiment from a :class:`RunSpec` (the stable entry point)."""
+    return _run(**spec.call_kwargs(horizon=False))
+
+
+def run(**kwargs) -> ReadAvailabilityResult:
+    """Deprecated ``run(**kwargs)`` shim; use :func:`execute` with a spec."""
+    return execute(RunSpec.from_kwargs("ext-reads", **kwargs))

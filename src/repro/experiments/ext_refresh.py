@@ -29,8 +29,9 @@ from repro.report.table import TextTable
 from repro.sim.recorder import ArrivalRecord, Recorder
 from repro.sim.workload.single_app import SingleAppWorkload
 from repro.units import MINUTES_PER_DAY, MINUTES_PER_HOUR, days, gib
+from repro.sim.parallel import RunSpec
 
-__all__ = ["RefreshResult", "run", "render"]
+__all__ = ["RefreshResult", "execute", "run", "render"]
 
 WINDOWS = {
     "hour": float(MINUTES_PER_HOUR),
@@ -70,7 +71,7 @@ def _windowed_estimator(
     return estimate
 
 
-def run(
+def _run(
     *,
     capacity_gib: int = 20,
     horizon_days: float = 200.0,
@@ -158,3 +159,13 @@ def render(result: RefreshResult) -> str:
             ]
         )
     return table.render()
+
+
+def execute(spec: RunSpec) -> RefreshResult:
+    """Run this experiment from a :class:`RunSpec` (the stable entry point)."""
+    return _run(**spec.call_kwargs())
+
+
+def run(**kwargs) -> RefreshResult:
+    """Deprecated ``run(**kwargs)`` shim; use :func:`execute` with a spec."""
+    return execute(RunSpec.from_kwargs("ext-refresh", **kwargs))

@@ -23,8 +23,9 @@ from repro.experiments.common import (
 from repro.report.asciichart import ascii_plot
 from repro.report.table import TextTable
 from repro.sim.workload.lecture import UNIVERSITY_CREATOR
+from repro.sim.parallel import RunSpec
 
-__all__ = ["Fig10Result", "run", "render"]
+__all__ = ["Fig10Result", "execute", "run", "render"]
 
 
 @dataclass(frozen=True)
@@ -41,7 +42,7 @@ class Fig10Result:
     palimpsest_high_importance_fraction: dict[int, float]
 
 
-def run(
+def _run(
     *,
     capacities_gib: tuple[int, ...] = (80, 120),
     horizon_days: float = 5 * 365.0,
@@ -122,3 +123,13 @@ def render(result: Fig10Result) -> str:
             "victims at projected importance >= 0.5 (the paper's pathology)"
         )
     return "\n\n".join(chunks)
+
+
+def execute(spec: RunSpec) -> Fig10Result:
+    """Run this experiment from a :class:`RunSpec` (the stable entry point)."""
+    return _run(**spec.call_kwargs())
+
+
+def run(**kwargs) -> Fig10Result:
+    """Deprecated ``run(**kwargs)`` shim; use :func:`execute` with a spec."""
+    return execute(RunSpec.from_kwargs("fig10", **kwargs))

@@ -20,8 +20,9 @@ from repro.experiments.fig5_timeconstant import WINDOWS, run_from_arrivals
 from repro.report.asciichart import ascii_plot
 from repro.report.table import TextTable
 from repro.units import gib, to_days
+from repro.sim.parallel import RunSpec
 
-__all__ = ["Fig11Result", "run", "render"]
+__all__ = ["Fig11Result", "execute", "run", "render"]
 
 
 @dataclass(frozen=True)
@@ -33,7 +34,7 @@ class Fig11Result:
     stability: dict[str, dict[str, float]]
 
 
-def run(
+def _run(
     *, capacity_gib: int = 80, horizon_days: float = 3 * 365.0, seed: int = 42
 ) -> Fig11Result:
     """Run the Palimpsest lecture scenario and estimate time constants."""
@@ -86,3 +87,13 @@ def render(result: Fig11Result) -> str:
         )
     chunks.append(table.render())
     return "\n\n".join(chunks)
+
+
+def execute(spec: RunSpec) -> Fig11Result:
+    """Run this experiment from a :class:`RunSpec` (the stable entry point)."""
+    return _run(**spec.call_kwargs())
+
+
+def run(**kwargs) -> Fig11Result:
+    """Deprecated ``run(**kwargs)`` shim; use :func:`execute` with a spec."""
+    return execute(RunSpec.from_kwargs("fig11", **kwargs))

@@ -18,8 +18,9 @@ from repro.experiments.common import (
 from repro.report.asciichart import ascii_plot
 from repro.report.table import TextTable
 from repro.units import to_days
+from repro.sim.parallel import RunSpec
 
-__all__ = ["Fig12Result", "run", "render"]
+__all__ = ["Fig12Result", "execute", "run", "render"]
 
 
 @dataclass(frozen=True)
@@ -31,7 +32,7 @@ class Fig12Result:
     plateau_density: dict[int, float]
 
 
-def run(
+def _run(
     *,
     capacities_gib: tuple[int, ...] = (80, 120),
     horizon_days: float = 5 * 365.0,
@@ -84,3 +85,13 @@ def render(result: Fig12Result) -> str:
             ]
         )
     return chart + "\n\n" + table.render()
+
+
+def execute(spec: RunSpec) -> Fig12Result:
+    """Run this experiment from a :class:`RunSpec` (the stable entry point)."""
+    return _run(**spec.call_kwargs())
+
+
+def run(**kwargs) -> Fig12Result:
+    """Deprecated ``run(**kwargs)`` shim; use :func:`execute` with a spec."""
+    return execute(RunSpec.from_kwargs("fig12", **kwargs))

@@ -14,8 +14,9 @@ from repro.report.asciichart import ascii_plot
 from repro.report.table import TextTable
 from repro.sim.workload.single_app import SingleAppWorkload
 from repro.units import days, gib, to_days, to_gib
+from repro.sim.parallel import RunSpec
 
-__all__ = ["Fig2Result", "run", "render"]
+__all__ = ["Fig2Result", "execute", "run", "render"]
 
 
 @dataclass(frozen=True)
@@ -29,7 +30,7 @@ class Fig2Result:
     total_gib: float
 
 
-def run(*, horizon_days: float = 365.0, seed: int = 42) -> Fig2Result:
+def _run(*, horizon_days: float = 365.0, seed: int = 42) -> Fig2Result:
     """Generate the Figure 2 demand series."""
     workload = SingleAppWorkload(seed=seed)
     series: list[tuple[float, int]] = []
@@ -90,3 +91,13 @@ def render(result: Fig2Result) -> str:
         else "120 GiB disk never fills",
     ]
     return "\n".join(lines)
+
+
+def execute(spec: RunSpec) -> Fig2Result:
+    """Run this experiment from a :class:`RunSpec` (the stable entry point)."""
+    return _run(**spec.call_kwargs())
+
+
+def run(**kwargs) -> Fig2Result:
+    """Deprecated ``run(**kwargs)`` shim; use :func:`execute` with a spec."""
+    return execute(RunSpec.from_kwargs("fig2", **kwargs))

@@ -19,8 +19,9 @@ from repro.experiments.common import (
 from repro.report.asciichart import ascii_plot
 from repro.report.table import TextTable
 from repro.units import to_days
+from repro.sim.parallel import RunSpec
 
-__all__ = ["Fig3Result", "run", "render"]
+__all__ = ["Fig3Result", "execute", "run", "render"]
 
 
 @dataclass(frozen=True)
@@ -34,7 +35,7 @@ class Fig3Result:
     first_eviction_day: dict[tuple[int, str], float | None]
 
 
-def run(
+def _run(
     *,
     capacities_gib: tuple[int, ...] = (80, 120),
     horizon_days: float = 365.0,
@@ -101,3 +102,13 @@ def render(result: Fig3Result) -> str:
         )
     chunks.append(table.render())
     return "\n\n".join(chunks)
+
+
+def execute(spec: RunSpec) -> Fig3Result:
+    """Run this experiment from a :class:`RunSpec` (the stable entry point)."""
+    return _run(**spec.call_kwargs())
+
+
+def run(**kwargs) -> Fig3Result:
+    """Deprecated ``run(**kwargs)`` shim; use :func:`execute` with a spec."""
+    return execute(RunSpec.from_kwargs("fig3", **kwargs))

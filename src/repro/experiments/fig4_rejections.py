@@ -18,8 +18,9 @@ from repro.experiments.common import (
 from repro.report.asciichart import ascii_plot
 from repro.report.table import TextTable
 from repro.units import to_days
+from repro.sim.parallel import RunSpec
 
-__all__ = ["Fig4Result", "run", "render"]
+__all__ = ["Fig4Result", "execute", "run", "render"]
 
 
 @dataclass(frozen=True)
@@ -31,7 +32,7 @@ class Fig4Result:
     arrivals: dict[tuple[int, str], int]
 
 
-def run(
+def _run(
     *,
     capacities_gib: tuple[int, ...] = (80, 120),
     horizon_days: float = 365.0,
@@ -86,3 +87,13 @@ def render(result: Fig4Result) -> str:
         )
     chunks.append(table.render())
     return "\n\n".join(chunks)
+
+
+def execute(spec: RunSpec) -> Fig4Result:
+    """Run this experiment from a :class:`RunSpec` (the stable entry point)."""
+    return _run(**spec.call_kwargs())
+
+
+def run(**kwargs) -> Fig4Result:
+    """Deprecated ``run(**kwargs)`` shim; use :func:`execute` with a spec."""
+    return execute(RunSpec.from_kwargs("fig4", **kwargs))

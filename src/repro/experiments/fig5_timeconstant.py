@@ -28,8 +28,9 @@ from repro.experiments.common import (
 from repro.report.asciichart import ascii_plot
 from repro.report.table import TextTable
 from repro.units import gib, to_days
+from repro.sim.parallel import RunSpec
 
-__all__ = ["Fig5Result", "run", "render", "run_from_arrivals"]
+__all__ = ["Fig5Result", "execute", "run", "render", "run_from_arrivals"]
 
 WINDOWS = {"hour": WINDOW_HOUR, "day": WINDOW_DAY, "month": WINDOW_MONTH}
 
@@ -66,7 +67,7 @@ def run_from_arrivals(
     )
 
 
-def run(
+def _run(
     *, capacity_gib: int = 80, horizon_days: float = 365.0, seed: int = 42
 ) -> Fig5Result:
     """Run the Palimpsest scenario and estimate its time constants."""
@@ -123,3 +124,13 @@ def render(result: Fig5Result) -> str:
             f"p={result.daily_bp.p_value:.4g} -> {verdict}"
         )
     return "\n\n".join(chunks)
+
+
+def execute(spec: RunSpec) -> Fig5Result:
+    """Run this experiment from a :class:`RunSpec` (the stable entry point)."""
+    return _run(**spec.call_kwargs())
+
+
+def run(**kwargs) -> Fig5Result:
+    """Deprecated ``run(**kwargs)`` shim; use :func:`execute` with a spec."""
+    return execute(RunSpec.from_kwargs("fig5", **kwargs))

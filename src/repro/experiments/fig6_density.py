@@ -18,8 +18,9 @@ from repro.experiments.common import (
 from repro.report.asciichart import ascii_plot
 from repro.report.table import TextTable
 from repro.units import to_days
+from repro.sim.parallel import RunSpec
 
-__all__ = ["Fig6Result", "run", "render"]
+__all__ = ["Fig6Result", "execute", "run", "render"]
 
 
 @dataclass(frozen=True)
@@ -33,7 +34,7 @@ class Fig6Result:
     plateau_density: dict[int, float]
 
 
-def run(
+def _run(
     *,
     capacities_gib: tuple[int, ...] = (80, 120),
     horizon_days: float = 365.0,
@@ -90,3 +91,13 @@ def render(result: Fig6Result) -> str:
             ]
         )
     return chart + "\n\n" + table.render()
+
+
+def execute(spec: RunSpec) -> Fig6Result:
+    """Run this experiment from a :class:`RunSpec` (the stable entry point)."""
+    return _run(**spec.call_kwargs())
+
+
+def run(**kwargs) -> Fig6Result:
+    """Deprecated ``run(**kwargs)`` shim; use :func:`execute` with a spec."""
+    return execute(RunSpec.from_kwargs("fig6", **kwargs))

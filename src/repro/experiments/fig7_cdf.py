@@ -24,8 +24,9 @@ from repro.sim.probes import SnapshotTrigger, density_probe
 from repro.sim.recorder import Recorder
 from repro.sim.runner import feed_arrivals
 from repro.units import days, to_days
+from repro.sim.parallel import RunSpec
 
-__all__ = ["Fig7Result", "run", "render", "PAPER_DENSITY"]
+__all__ = ["Fig7Result", "execute", "run", "render", "PAPER_DENSITY"]
 
 #: The density at which the paper took its snapshot.
 PAPER_DENSITY = 0.8369
@@ -43,7 +44,7 @@ class Fig7Result:
     min_storable_importance: float
 
 
-def run(
+def _run(
     *,
     capacity_gib: int = 80,
     horizon_days: float = 365.0,
@@ -103,3 +104,13 @@ def render(result: Fig7Result) -> str:
         f"{result.min_storable_importance:.3f}  (paper: ~0.25)",
     ]
     return "\n".join(lines)
+
+
+def execute(spec: RunSpec) -> Fig7Result:
+    """Run this experiment from a :class:`RunSpec` (the stable entry point)."""
+    return _run(**spec.call_kwargs())
+
+
+def run(**kwargs) -> Fig7Result:
+    """Deprecated ``run(**kwargs)`` shim; use :func:`execute` with a spec."""
+    return execute(RunSpec.from_kwargs("fig7", **kwargs))

@@ -13,8 +13,9 @@ from dataclasses import dataclass
 from repro.report.asciichart import ascii_plot
 from repro.report.table import TextTable
 from repro.sim.workload.downloads import DownloadTraceConfig, synthesize_download_trace
+from repro.sim.parallel import RunSpec
 
-__all__ = ["Fig8Result", "run", "render"]
+__all__ = ["Fig8Result", "execute", "run", "render"]
 
 
 @dataclass(frozen=True)
@@ -30,7 +31,7 @@ class Fig8Result:
     mean_after_term: float
 
 
-def run(*, config: DownloadTraceConfig | None = None, seed: int = 0) -> Fig8Result:
+def _run(*, config: DownloadTraceConfig | None = None, seed: int = 0) -> Fig8Result:
     """Synthesise the Figure 8 trace."""
     cfg = config or DownloadTraceConfig()
     trace = synthesize_download_trace(cfg, seed=seed)
@@ -64,3 +65,14 @@ def render(result: Fig8Result) -> str:
     table.add_row(["mean/day after term", round(result.mean_after_term, 1)])
     table.add_row(["exam days", ", ".join(map(str, result.config.exam_days))])
     return chart + "\n\n" + table.render()
+
+
+def execute(spec: RunSpec) -> Fig8Result:
+    """Run this experiment from a :class:`RunSpec` (the stable entry point)."""
+    return _run(**spec.call_kwargs(horizon=False))
+
+
+def run(**kwargs) -> Fig8Result:
+    """Deprecated ``run(**kwargs)`` shim; use :func:`execute` with a spec."""
+    kwargs.setdefault("seed", 0)
+    return execute(RunSpec.from_kwargs("fig8", **kwargs))

@@ -22,8 +22,9 @@ from repro.report.asciichart import ascii_plot
 from repro.report.table import TextTable
 from repro.sim.workload.lecture import STUDENT_CREATOR, UNIVERSITY_CREATOR
 from repro.units import to_days
+from repro.sim.parallel import RunSpec
 
-__all__ = ["Fig9Result", "run", "render"]
+__all__ = ["Fig9Result", "execute", "run", "render"]
 
 CREATORS = (UNIVERSITY_CREATOR, STUDENT_CREATOR)
 
@@ -50,7 +51,7 @@ def _creator_means(recorder, creators) -> dict[str, float]:
     return means
 
 
-def run(
+def _run(
     *,
     capacities_gib: tuple[int, ...] = (80, 120),
     horizon_days: float = 5 * 365.0,
@@ -136,3 +137,13 @@ def render(result: Fig9Result) -> str:
         )
     chunks.append(table.render())
     return "\n\n".join(chunks)
+
+
+def execute(spec: RunSpec) -> Fig9Result:
+    """Run this experiment from a :class:`RunSpec` (the stable entry point)."""
+    return _run(**spec.call_kwargs())
+
+
+def run(**kwargs) -> Fig9Result:
+    """Deprecated ``run(**kwargs)`` shim; use :func:`execute` with a spec."""
+    return execute(RunSpec.from_kwargs("fig9", **kwargs))

@@ -1,0 +1,309 @@
+"""Experiment registry: one spec-driven entry point per paper artifact.
+
+Historically each CLI handler threaded ``argparse`` attributes into its
+experiment module's ``run(**kwargs)``; the registry replaces that with a
+single shape shared by the CLI, the parallel sweep executor and the
+benchmarks:
+
+    from repro.sim.parallel import RunSpec
+    from repro.experiments import registry
+
+    result, rendered, (headers, rows) = registry.run_cli(RunSpec("fig6"))
+
+``run_cli`` dispatches by :attr:`RunSpec.experiment`, calls the module's
+``execute(spec)`` and extracts the experiment-specific CSV rows — the
+exact tuples the CLI has always written.  Because adapters live at
+module top level and take only a picklable spec, any registry entry can
+run in a worker process untouched.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Iterable
+
+from repro.errors import ReproError
+from repro.sim.parallel import RunSpec
+
+__all__ = ["CliRun", "names", "run_cli", "run_experiment"]
+
+#: ``(result, rendered, [headers, rows])`` — the CLI handler contract.
+CliRun = tuple[Any, str, list]
+
+
+def _fig2(spec: RunSpec) -> CliRun:
+    from repro.experiments import fig2_storage_requirements as mod
+
+    result = mod.execute(spec)
+    rows = [(t, total) for t, total in result.series]
+    return result, mod.render(result), [("t_minutes", "cumulative_bytes"), rows]
+
+
+def _fig3(spec: RunSpec) -> CliRun:
+    from repro.experiments import fig3_lifetimes as mod
+
+    result = mod.execute(spec)
+    rows = [
+        (cap, policy, day, mean, n)
+        for (cap, policy), series in result.series.items()
+        for day, mean, n in series
+    ]
+    return (
+        result,
+        mod.render(result),
+        [("capacity_gib", "policy", "bucket_day", "mean_days", "count"), rows],
+    )
+
+
+def _fig4(spec: RunSpec) -> CliRun:
+    from repro.experiments import fig4_rejections as mod
+
+    result = mod.execute(spec)
+    rows = [
+        (cap, policy, t, count)
+        for (cap, policy), series in result.cumulative.items()
+        for t, count in series
+    ]
+    return (
+        result,
+        mod.render(result),
+        [("capacity_gib", "policy", "t_minutes", "cumulative_rejections"), rows],
+    )
+
+
+def _fig5(spec: RunSpec) -> CliRun:
+    from repro.experiments import fig5_timeconstant as mod
+
+    result = mod.execute(spec)
+    rows = [
+        (name, t, tau)
+        for name, series in result.series.items()
+        for t, tau in series.points
+    ]
+    return result, mod.render(result), [("window", "t_minutes", "tau_minutes"), rows]
+
+
+def _fig6(spec: RunSpec) -> CliRun:
+    from repro.experiments import fig6_density as mod
+
+    result = mod.execute(spec)
+    rows = [
+        (cap, t, density)
+        for cap, series in result.series.items()
+        for t, density in series
+    ]
+    return result, mod.render(result), [("capacity_gib", "t_minutes", "density"), rows]
+
+
+def _fig7(spec: RunSpec) -> CliRun:
+    from repro.experiments import fig7_cdf as mod
+
+    result = mod.execute(spec)
+    rows = list(result.cdf)
+    return result, mod.render(result), [("importance", "cumulative_fraction"), rows]
+
+
+def _fig8(spec: RunSpec) -> CliRun:
+    from repro.experiments import fig8_downloads as mod
+
+    result = mod.execute(spec)
+    rows = list(result.trace)
+    return result, mod.render(result), [("day", "downloads"), rows]
+
+
+def _table1(spec: RunSpec) -> CliRun:
+    from repro.experiments import table1_parameters as mod
+
+    result = mod.execute(spec)
+    rows = list(result.rows)
+    return result, mod.render(result), [("term", "begin_doy", "t_persist", "t_wane_days"), rows]
+
+
+def _fig9(spec: RunSpec) -> CliRun:
+    from repro.experiments import fig9_lecture_lifetimes as mod
+
+    result = mod.execute(spec)
+    rows = [
+        (cap, creator, day, mean, n)
+        for (cap, creator), series in result.series.items()
+        for day, mean, n in series
+    ]
+    return (
+        result,
+        mod.render(result),
+        [("capacity_gib", "creator", "bucket_day", "mean_days", "count"), rows],
+    )
+
+
+def _fig10(spec: RunSpec) -> CliRun:
+    from repro.experiments import fig10_reclamation_importance as mod
+
+    result = mod.execute(spec)
+    rows = [
+        (cap, policy, day, imp, n)
+        for (cap, policy), series in result.series.items()
+        for day, imp, n in series
+    ]
+    return (
+        result,
+        mod.render(result),
+        [("capacity_gib", "policy", "bucket_day", "mean_importance", "count"), rows],
+    )
+
+
+def _fig11(spec: RunSpec) -> CliRun:
+    from repro.experiments import fig11_lecture_timeconstant as mod
+
+    result = mod.execute(spec)
+    rows = [
+        (name, t, tau)
+        for name, series in result.series.items()
+        for t, tau in series.points
+    ]
+    return result, mod.render(result), [("window", "t_minutes", "tau_minutes"), rows]
+
+
+def _fig12(spec: RunSpec) -> CliRun:
+    from repro.experiments import fig12_lecture_density as mod
+
+    result = mod.execute(spec)
+    rows = [
+        (cap, t, density)
+        for cap, series in result.series.items()
+        for t, density in series
+    ]
+    return result, mod.render(result), [("capacity_gib", "t_minutes", "density"), rows]
+
+
+def _sec53(spec: RunSpec) -> CliRun:
+    from repro.experiments import sec53_university as mod
+
+    result = mod.execute(spec)
+    rows = [
+        (cap, stats.placed, stats.rejected, stats.mean_density)
+        for cap, stats in result.stats.items()
+    ]
+    return (
+        result,
+        mod.render(result),
+        [("node_capacity_gib", "placed", "rejected", "mean_density"), rows],
+    )
+
+
+def _ext_mixed(spec: RunSpec) -> CliRun:
+    from repro.experiments import ext_mixed_apps as mod
+
+    result = mod.execute(spec)
+    rows = [
+        (name, stats["arrivals"], stats["rejected"], stats["mean_life_days"])
+        for name, stats in result.per_class.items()
+    ]
+    return (
+        result,
+        mod.render(result),
+        [("class", "arrivals", "rejected", "mean_life_days"), rows],
+    )
+
+
+def _ext_churn(spec: RunSpec) -> CliRun:
+    from repro.experiments import ext_churn as mod
+
+    result = mod.execute(spec)
+    rows = [
+        ("placed", result.placed),
+        ("rejected", result.rejected),
+        ("preempted", result.preempted),
+        ("lost_to_departures", result.lost_to_departures),
+    ]
+    return result, mod.render(result), [("metric", "value"), rows]
+
+
+def _ext_refresh(spec: RunSpec) -> CliRun:
+    from repro.experiments import ext_refresh as mod
+
+    result = mod.execute(spec)
+    rows = [
+        (window, safety, o.registered, o.lost, o.refreshes)
+        for (window, safety), o in sorted(result.outcomes.items())
+    ]
+    return (
+        result,
+        mod.render(result),
+        [("window", "safety", "registered", "lost", "refreshes"), rows],
+    )
+
+
+def _ext_reads(spec: RunSpec) -> CliRun:
+    from repro.experiments import ext_reads as mod
+
+    result = mod.execute(spec)
+    rows = [
+        (name, stats["hit_rate"], stats["hits"], stats["misses_never_stored"],
+         stats["misses_evicted"])
+        for name, stats in result.per_policy.items()
+    ]
+    return (
+        result,
+        mod.render(result),
+        [("variant", "hit_rate", "hits", "missed_never_stored", "missed_evicted"),
+         rows],
+    )
+
+
+def _ext_advisor(spec: RunSpec) -> CliRun:
+    from repro.experiments import ext_advisor_loop as mod
+
+    result = mod.execute(spec)
+    rows = [
+        (label, stats["admission_rate"], stats["mean_life_days"],
+         stats["mean_importance"])
+        for label, stats in result.per_strategy.items()
+    ]
+    return (
+        result,
+        mod.render(result),
+        [("strategy", "admission_rate", "mean_life_days", "mean_importance"), rows],
+    )
+
+
+_ADAPTERS: dict[str, Callable[[RunSpec], CliRun]] = {
+    "fig2": _fig2,
+    "fig3": _fig3,
+    "fig4": _fig4,
+    "fig5": _fig5,
+    "fig6": _fig6,
+    "fig7": _fig7,
+    "fig8": _fig8,
+    "table1": _table1,
+    "fig9": _fig9,
+    "fig10": _fig10,
+    "fig11": _fig11,
+    "fig12": _fig12,
+    "sec53": _sec53,
+    "ext-mixed": _ext_mixed,
+    "ext-churn": _ext_churn,
+    "ext-refresh": _ext_refresh,
+    "ext-reads": _ext_reads,
+    "ext-advisor": _ext_advisor,
+}
+
+
+def names() -> Iterable[str]:
+    """Registered experiment names, in canonical (paper) order."""
+    return tuple(_ADAPTERS)
+
+
+def run_cli(spec: RunSpec) -> CliRun:
+    """Execute a spec and return ``(result, rendered, [headers, rows])``."""
+    try:
+        adapter = _ADAPTERS[spec.experiment]
+    except KeyError:
+        raise ReproError(
+            f"unknown experiment {spec.experiment!r}; known: {', '.join(_ADAPTERS)}"
+        ) from None
+    return adapter(spec)
+
+
+def run_experiment(spec: RunSpec) -> Any:
+    """Execute a spec and return the experiment's typed result object."""
+    result, _rendered, _csv = run_cli(spec)
+    return result

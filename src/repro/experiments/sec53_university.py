@@ -23,8 +23,9 @@ from repro.sim.workload.lecture import STUDENT_CREATOR, UNIVERSITY_CREATOR
 from repro.sim.workload.university import UniversityConfig, UniversityWorkload
 from repro.report.table import TextTable
 from repro.units import days, gib, to_days, to_tib
+from repro.sim.parallel import RunSpec
 
-__all__ = ["Sec53Result", "run", "render"]
+__all__ = ["Sec53Result", "execute", "run", "render"]
 
 
 @dataclass(frozen=True)
@@ -46,7 +47,7 @@ class Sec53Result:
     capacity_tib: dict[int, float]
 
 
-def run(
+def _run(
     *,
     node_capacities_gib: tuple[int, ...] = (80, 120),
     scale: float = 0.02,
@@ -140,3 +141,14 @@ def render(result: Sec53Result) -> str:
         "capacity while every annotation stays unchanged.",
     ]
     return head + "\n\n" + table.render() + "\n\n" + "\n".join(notes)
+
+
+def execute(spec: RunSpec) -> Sec53Result:
+    """Run this experiment from a :class:`RunSpec` (the stable entry point)."""
+    return _run(**spec.call_kwargs())
+
+
+def run(**kwargs) -> Sec53Result:
+    """Deprecated ``run(**kwargs)`` shim; use :func:`execute` with a spec."""
+    kwargs.setdefault("seed", 7)
+    return execute(RunSpec.from_kwargs("sec53", **kwargs))

@@ -19,8 +19,9 @@ from repro.sim.workload.calendar import (
     university_lifetime_for_day,
 )
 from repro.units import days, to_days
+from repro.sim.parallel import RunSpec
 
-__all__ = ["Table1Result", "run", "render"]
+__all__ = ["Table1Result", "execute", "run", "render"]
 
 
 @dataclass(frozen=True)
@@ -32,7 +33,7 @@ class Table1Result:
     examples: dict[str, tuple[tuple[int, float, float], ...]]
 
 
-def run(*, calendar: AcademicCalendar = PAPER_CALENDAR) -> Table1Result:
+def _run(*, calendar: AcademicCalendar = PAPER_CALENDAR) -> Table1Result:
     """Regenerate Table 1 from the calendar specs."""
     rows = []
     examples: dict[str, tuple[tuple[int, float, float], ...]] = {}
@@ -79,3 +80,13 @@ def render(result: Table1Result) -> str:
             sub.add_row([doy, round(persist, 1), round(wane, 1)])
         chunks.append(sub.render())
     return "\n\n".join(chunks)
+
+
+def execute(spec: RunSpec) -> Table1Result:
+    """Run this experiment from a :class:`RunSpec` (the stable entry point)."""
+    return _run(**spec.call_kwargs(seed=False, horizon=False))
+
+
+def run(**kwargs) -> Table1Result:
+    """Deprecated ``run(**kwargs)`` shim; use :func:`execute` with a spec."""
+    return execute(RunSpec.from_kwargs("table1", **kwargs))

@@ -45,7 +45,7 @@ from repro.obs.metrics import (
 )
 from repro.obs.profile import PhaseProfiler
 from repro.obs.timeseries import SeriesBuffer, TimeSeriesCollector, series_label
-from repro.obs.tracing import SpanNode, SpanStats, Tracer
+from repro.obs.tracing import SpanNode, SpanStats, Tracer, render_aggregates
 
 __all__ = [
     "COUNT_BUCKETS",
@@ -68,7 +68,9 @@ __all__ = [
     "configure_logging",
     "disable",
     "enable",
+    "export_payload",
     "is_enabled",
+    "render_aggregates",
     "reset",
     "series_label",
 ]
@@ -143,3 +145,24 @@ def configure_logging(level: str = "info", sink: str | IO[str] | list | None = N
     if sink is not None:
         STATE.logger.set_sink(sink)
     return STATE.logger
+
+
+def export_payload(experiment: str) -> dict:
+    """Snapshot :data:`STATE` into one JSON-friendly telemetry payload.
+
+    The schema matches ``--metrics-out`` files and dashboard payloads:
+    ``{experiment, metrics, spans, profile, timeseries?}``.  Parallel
+    workers ship this dict back to the parent, which can rebuild live
+    objects via :meth:`MetricsRegistry.from_dict` /
+    :meth:`TimeSeriesCollector.from_dict` or merge them into its own
+    STATE.
+    """
+    payload: dict = {
+        "experiment": experiment,
+        "metrics": STATE.registry.to_dict(),
+        "spans": STATE.tracer.aggregates(),
+        "profile": STATE.profiler.aggregates(),
+    }
+    if STATE.timeseries is not None:
+        payload["timeseries"] = STATE.timeseries.to_dict()
+    return payload

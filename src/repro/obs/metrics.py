@@ -91,6 +91,22 @@ def quantile_from_cumulative(
     return hi  # target falls in the implicit +Inf bucket
 
 
+def _bounds_from_series(series: Sequence[Mapping[str, object]]) -> tuple[float, ...]:
+    """Recover histogram bucket bounds from exported cumulative buckets.
+
+    Fallback for payloads written before ``to_dict`` exported the bucket
+    layout explicitly; without any series the layout is unknowable and
+    the duration default applies.
+    """
+    for row in series:
+        buckets = row.get("buckets")
+        if buckets:
+            return tuple(
+                sorted(float(key) for key in buckets if key != "+Inf")  # type: ignore[union-attr]
+            )
+    return DURATION_BUCKETS
+
+
 def _escape_label_value(value: str) -> str:
     return value.replace("\\", r"\\").replace('"', r"\"").replace("\n", r"\n")
 
@@ -343,6 +359,109 @@ class MetricsRegistry:
                 f"existing labels are {existing.labelnames}"
             )
 
+    # -- merging ----------------------------------------------------------
+
+    def merge(self, other: "MetricsRegistry") -> "MetricsRegistry":
+        """Fold another registry's series into this one (returns self).
+
+        This is how parallel worker snapshots come home: counters add,
+        gauges take the incoming value (last writer wins), histograms add
+        bucket-wise (counts, sums, min/max combine).  Metrics unknown to
+        this registry are adopted wholesale; a name registered with a
+        different type, label set or bucket layout raises
+        :class:`~repro.errors.ObservabilityError`.
+        """
+        for name, theirs in other._metrics.items():
+            mine = self._metrics.get(name)
+            if mine is None:
+                if isinstance(theirs, Histogram):
+                    mine = self.histogram(
+                        name, theirs.help, theirs.labelnames, buckets=theirs.buckets
+                    )
+                elif isinstance(theirs, Counter):
+                    mine = self.counter(name, theirs.help, theirs.labelnames)
+                else:
+                    assert isinstance(theirs, Gauge)
+                    mine = self.gauge(name, theirs.help, theirs.labelnames)
+            self._check_compatible(mine, type(theirs), name, theirs.labelnames)
+            if isinstance(theirs, Histogram):
+                assert isinstance(mine, Histogram)
+                if mine.buckets != theirs.buckets:
+                    raise ObservabilityError(
+                        f"histogram {name!r} merged with different buckets"
+                    )
+                for key, series in theirs._series.items():
+                    target = mine._series.get(key)
+                    if target is None:
+                        target = mine._series[key] = _HistogramSeries(len(mine.buckets))
+                    for i, raw in enumerate(series.bucket_counts):
+                        target.bucket_counts[i] += raw
+                    target.count += series.count
+                    target.sum += series.sum
+                    target.min = min(target.min, series.min)
+                    target.max = max(target.max, series.max)
+            elif isinstance(theirs, Counter):
+                assert isinstance(mine, Counter)
+                for key, value in theirs._series.items():
+                    mine._series[key] = mine._series.get(key, 0.0) + value
+            else:
+                assert isinstance(theirs, Gauge) and isinstance(mine, Gauge)
+                mine._series.update(theirs._series)
+        return self
+
+    @classmethod
+    def from_dict(cls, payload: Mapping[str, Mapping[str, object]]) -> "MetricsRegistry":
+        """Rebuild a registry from :meth:`to_dict` output.
+
+        Round-trips counters and gauges exactly.  Histogram bucket
+        layouts come from the exported ``buckets`` key (or, for older
+        payloads, are recovered from the per-series cumulative-bucket
+        keys); raw per-bucket counts are de-cumulated.  The result is a
+        live registry — mergeable, summarisable, re-exportable.
+        """
+        registry = cls()
+        for name, entry in payload.items():
+            kind = entry.get("type")
+            labelnames = tuple(entry.get("labelnames", ()))  # type: ignore[arg-type]
+            help_text = str(entry.get("help", ""))
+            series = entry.get("series", [])
+            if kind == "histogram":
+                bounds = entry.get("buckets")
+                if bounds is None:
+                    bounds = _bounds_from_series(series)  # type: ignore[arg-type]
+                metric = registry.histogram(
+                    name, help_text, labelnames,
+                    buckets=tuple(float(b) for b in bounds),  # type: ignore[union-attr]
+                )
+                for row in series:  # type: ignore[union-attr]
+                    key = tuple(str(row["labels"][n]) for n in labelnames)
+                    hs = _HistogramSeries(len(metric.buckets))
+                    hs.count = int(row["count"])
+                    hs.sum = float(row["sum"])
+                    hs.min = float(row["min"]) if hs.count else float("inf")
+                    hs.max = float(row["max"]) if hs.count else float("-inf")
+                    cumulative = row.get("buckets", {})
+                    previous = 0
+                    for i, bound in enumerate(metric.buckets):
+                        cum = int(cumulative.get(repr(bound), previous))
+                        hs.bucket_counts[i] = cum - previous
+                        previous = cum
+                    metric._series[key] = hs
+            elif kind in ("counter", "gauge"):
+                metric = (
+                    registry.counter(name, help_text, labelnames)
+                    if kind == "counter"
+                    else registry.gauge(name, help_text, labelnames)
+                )
+                for row in series:  # type: ignore[union-attr]
+                    key = tuple(str(row["labels"][n]) for n in labelnames)
+                    metric._series[key] = float(row["value"])
+            else:
+                raise ObservabilityError(
+                    f"metric {name!r} has unknown type {kind!r} in payload"
+                )
+        return registry
+
     # -- introspection ----------------------------------------------------
 
     def get(self, name: str) -> _Metric | None:
@@ -384,6 +503,8 @@ class MetricsRegistry:
                 "help": metric.help,
                 "labelnames": list(metric.labelnames),
             }
+            if isinstance(metric, Histogram):
+                entry["buckets"] = list(metric.buckets)
             series_out: list[dict[str, object]] = []
             if isinstance(metric, Histogram):
                 for key, snap in sorted(metric.series().items()):

@@ -188,6 +188,54 @@ class TimeSeriesCollector:
             self._kinds[label] = kind
         buffer.append(now, value)
 
+    # -- merging ----------------------------------------------------------
+
+    def merge(self, other: "TimeSeriesCollector") -> "TimeSeriesCollector":
+        """Fold another collector's buffers into this one (returns self).
+
+        Series unknown here are adopted (copied); series present in both
+        have their samples interleaved by time and re-downsampled to this
+        buffer's bound.  This is how per-worker collectors come back
+        together after a parallel run: each worker scraped its own
+        registry over the same simulated window, and the merged collector
+        feeds the dashboard exactly as a serial run's would.
+        """
+        for label, theirs in other._buffers.items():
+            mine = self._buffers.get(label)
+            if mine is None:
+                adopted = SeriesBuffer(theirs.max_points)
+                adopted.times = list(theirs.times)
+                adopted.values = list(theirs.values)
+                adopted.merged_per_point = theirs.merged_per_point
+                self._buffers[label] = adopted
+                self._kinds[label] = other._kinds.get(label, "untyped")
+                continue
+            paired = sorted(
+                zip([*mine.times, *theirs.times], [*mine.values, *theirs.values])
+            )
+            times = [t for t, _v in paired]
+            values = [v for _t, v in paired]
+            merged_per_point = max(mine.merged_per_point, theirs.merged_per_point)
+            while len(times) > mine.max_points:
+                # Pair-average in place; an odd trailing sample is kept as-is
+                # so the end-of-run value always survives the merge.
+                half = len(times) // 2
+                tail_t = times[2 * half:]
+                tail_v = values[2 * half:]
+                times = [
+                    (times[2 * i] + times[2 * i + 1]) / 2.0 for i in range(half)
+                ] + tail_t
+                values = [
+                    (values[2 * i] + values[2 * i + 1]) / 2.0 for i in range(half)
+                ] + tail_v
+                merged_per_point *= 2
+            mine.times = times
+            mine.values = values
+            mine.merged_per_point = merged_per_point
+        self.scrape_count += other.scrape_count
+        self._next_due = max(self._next_due, other._next_due)
+        return self
+
     # -- access -----------------------------------------------------------
 
     def __len__(self) -> int:

@@ -19,7 +19,7 @@ from dataclasses import dataclass, field
 from time import perf_counter
 from typing import Iterator
 
-__all__ = ["SpanNode", "SpanStats", "Tracer"]
+__all__ = ["SpanNode", "SpanStats", "Tracer", "render_aggregates"]
 
 
 @dataclass
@@ -69,6 +69,26 @@ class SpanStats:
             "min_s": self.min_s if self.count else 0.0,
             "max_s": self.max_s,
         }
+
+
+def render_aggregates(aggregates: dict[str, dict[str, float]]) -> str:
+    """Render a :meth:`Tracer.aggregates` dict as the aggregate table.
+
+    Matches the table half of :meth:`Tracer.render` so span timings that
+    crossed a process boundary (parallel workers ship aggregates, not
+    live tracers) print identically to a serial run's.
+    """
+    lines = ["span aggregates (wall-clock):"]
+    if not aggregates:
+        lines.append("  (no spans recorded)")
+    width = max((len(label) for label in aggregates), default=0)
+    for label, stats in sorted(aggregates.items(), key=lambda kv: -kv[1]["total_s"]):
+        lines.append(
+            f"  {label.ljust(width)}  n={int(stats['count']):<8d} "
+            f"total={stats['total_s']:.6f}s "
+            f"mean={stats['mean_s']:.6f}s max={stats['max_s']:.6f}s"
+        )
+    return "\n".join(lines)
 
 
 class Tracer:

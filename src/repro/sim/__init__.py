@@ -12,20 +12,40 @@ years ...) on a minute granularity".  This package provides:
 * :mod:`repro.sim.runner` — scenario orchestration helpers.
 * :mod:`repro.sim.workload` — the paper's three workload families plus the
   Figure 8 popularity-trace synthesiser.
+* :mod:`repro.sim.parallel` — picklable :class:`RunSpec` descriptions and
+  the multi-process sweep executor.
 """
 
 from repro.sim.clock import SimClock
 from repro.sim.engine import SimulationEngine
 from repro.sim.events import Event
+from repro.sim.parallel import (
+    ObsOptions,
+    RunError,
+    RunOutcome,
+    RunSpec,
+    execute_spec,
+    expand_sweep,
+    run_specs,
+    seed_for,
+)
 from repro.sim.recorder import ArrivalRecord, Recorder
 from repro.sim.runner import ScenarioResult, run_single_store
 
 __all__ = [
     "ArrivalRecord",
     "Event",
+    "ObsOptions",
     "Recorder",
+    "RunError",
+    "RunOutcome",
+    "RunSpec",
     "ScenarioResult",
     "SimClock",
     "SimulationEngine",
+    "execute_spec",
+    "expand_sweep",
     "run_single_store",
+    "run_specs",
+    "seed_for",
 ]

@@ -113,13 +113,14 @@ class Recorder:
         """
         for store in self._stores:
             density = importance_density(store, now)
+            stats = store.stats()
             self.density_samples.append(
                 DensitySample(
                     t=now,
                     density=density,
-                    used_bytes=store.used_bytes,
-                    capacity_bytes=store.capacity_bytes,
-                    resident_count=store.resident_count,
+                    used_bytes=stats.used_bytes,
+                    capacity_bytes=stats.capacity_bytes,
+                    resident_count=stats.resident_count,
                 )
             )
             if _OBS.enabled:
@@ -133,7 +134,7 @@ class Recorder:
                     "store_occupancy_ratio",
                     "Fraction of raw capacity occupied.",
                     ("unit",),
-                ).set(store.utilization(), unit=store.name)
+                ).set(stats.utilization, unit=store.name)
 
     # -- derived series -------------------------------------------------------
 

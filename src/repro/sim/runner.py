@@ -50,7 +50,11 @@ def feed_arrivals(
     Arrivals are scheduled lazily — one event in the heap at a time — so
     multi-year streams do not materialise up front.  The stream must be
     non-decreasing in ``t_arrival``; a violation raises
-    :class:`SimulationError` at dispatch time.
+    :class:`SimulationError` at dispatch time.  Arrivals beyond
+    ``horizon_minutes`` are skipped individually — the stream keeps
+    draining, so a generator that interleaves over-horizon objects with
+    in-horizon ones (e.g. per-creator streams merged without a total
+    order past the horizon) still delivers every in-horizon arrival.
     """
     iterator: Iterator[StoredObject] = iter(arrivals)
 
@@ -61,7 +65,7 @@ def feed_arrivals(
                     f"arrival stream went backwards: {obj.t_arrival} < {previous_t}"
                 )
             if obj.t_arrival > horizon_minutes:
-                return  # drop arrivals beyond the horizon
+                continue  # skip this arrival, keep draining in-horizon ones
             engine.schedule_at(
                 obj.t_arrival,
                 lambda now, obj=obj: dispatch(obj, now),
@@ -126,15 +130,16 @@ def run_single_store(
             # Pin the end-of-horizon state even when the cadence is not due,
             # so final density/occupancy always close the collected series.
             collector.scrape(engine.now)
+        stats = store.stats()
         _OBS.logger.info(
             "runner",
             "run-end",
             sim_time=engine.now,
-            store=store.name,
+            store=stats.unit,
             dispatched=dispatched,
-            accepted=store.accepted_count,
-            rejected=store.rejected_count,
-            evicted=store.evicted_count,
+            accepted=stats.accepted_count,
+            rejected=stats.rejected_count,
+            evicted=stats.evicted_count,
             timeseries_scrapes=None if collector is None else collector.scrape_count,
         )
     else:

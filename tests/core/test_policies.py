@@ -93,7 +93,7 @@ class TestPalimpsestPolicy:
                 days(day),
             )
             assert result.admitted
-        assert store.rejected_count == 0
+        assert store.stats().rejected_count == 0
 
     def test_evicts_oldest_first(self):
         store = StorageUnit(gib(2), PalimpsestPolicy())

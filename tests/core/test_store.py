@@ -148,6 +148,44 @@ class TestRemoveAndSweep:
         assert temporal_store.get(obj.object_id).is_expired_at(days(100))
 
 
+class TestStats:
+    def test_snapshot_reflects_counters_and_occupancy(self, temporal_store):
+        temporal_store.offer(make_obj(1.0), 0.0)
+        for _ in range(9):
+            temporal_store.offer(make_obj(1.0), 0.0)
+        temporal_store.offer(make_obj(1.0), 0.0)  # full at same importance
+        stats = temporal_store.stats()
+        assert stats.unit == temporal_store.name
+        assert stats.capacity_bytes == temporal_store.capacity_bytes
+        assert stats.used_bytes == gib(10)
+        assert stats.resident_count == 10
+        assert stats.accepted_count == 10
+        assert stats.rejected_count == 1
+        assert stats.bytes_accepted == gib(10)
+        assert stats.bytes_rejected == gib(1)
+        assert stats.offered_count == 11
+        assert stats.free_bytes == 0
+        assert stats.utilization == 1.0
+
+    def test_snapshot_is_frozen_and_detached(self, temporal_store):
+        temporal_store.offer(make_obj(1.0), 0.0)
+        stats = temporal_store.stats()
+        with pytest.raises(AttributeError):
+            stats.used_bytes = 0
+        temporal_store.offer(make_obj(1.0), 0.0)
+        assert stats.used_bytes == gib(1)  # old snapshot unchanged
+        assert temporal_store.stats().used_bytes == gib(2)
+
+    def test_snapshot_counts_evictions(self, temporal_store):
+        temporal_store.offer(make_obj(10.0, t_arrival=0.0), 0.0)
+        now = days(22.5)
+        temporal_store.offer(make_obj(1.0, t_arrival=now), now)
+        stats = temporal_store.stats()
+        assert stats.evicted_count == 1
+        assert stats.bytes_evicted == gib(10)
+        assert stats.accepted_count == stats.resident_count + stats.evicted_count
+
+
 class TestQueries:
     def test_get_unknown_raises(self, temporal_store):
         with pytest.raises(UnknownObjectError):

@@ -109,10 +109,12 @@ def test_invariants_hold_over_random_sequences(steps):
 @given(steps=arrival_sequences())
 @settings(max_examples=60, deadline=None)
 def test_accounting_counters_consistent(steps):
-    store = replay(steps)
-    assert store.accepted_count == store.resident_count + store.evicted_count
-    assert store.bytes_accepted >= store.bytes_evicted
-    assert store.used_bytes == store.bytes_accepted - store.bytes_evicted
+    stats = replay(steps).stats()
+    assert stats.accepted_count == stats.resident_count + stats.evicted_count
+    assert stats.bytes_accepted >= stats.bytes_evicted
+    assert stats.used_bytes == stats.bytes_accepted - stats.bytes_evicted
+    assert stats.offered_count == stats.accepted_count + stats.rejected_count
+    assert stats.free_bytes == stats.capacity_bytes - stats.used_bytes
 
 
 @given(steps=arrival_sequences())

@@ -268,3 +268,80 @@ class TestDashboard:
         out = capsys.readouterr().out
         assert "trend" in out
         assert "p95=" in out
+
+
+class TestParallelRun:
+    def test_run_with_jobs_flag_matches_serial_stdout(self, capsys):
+        assert main(["run", "table1"]) == 0
+        serial = capsys.readouterr().out
+        assert main(["run", "table1", "--jobs", "2"]) == 0
+        parallel = capsys.readouterr().out
+        assert parallel == serial
+
+    def test_parallel_failure_reports_and_exits_nonzero(self, capsys):
+        # fig7 needs its full default horizon to cross the density band; a
+        # 5-day run fails fast — the parallel path must capture it as a
+        # structured per-spec failure, not a traceback-and-abort.
+        code = main(["run", "fig7", "--horizon-days", "5", "--jobs", "2"])
+        captured = capsys.readouterr()
+        assert code == 1
+        assert "[fig7 failed" in captured.err
+        assert "RuntimeError" in captured.err
+
+    def test_parallel_metrics_merge_across_specs(self, tmp_path, capsys):
+        out = tmp_path / "metrics.json"
+        code = main(
+            ["sweep", "fig6", "--seeds", "2", "--horizon-days", "5",
+             "--jobs", "2", "--metrics-out", str(out)]
+        )
+        stdout = capsys.readouterr().out
+        assert code == 0
+        names = {p.name for p in tmp_path.iterdir()}
+        assert "metrics-fig6-h=5.json" in names
+        assert "metrics-fig6-h=5-r1.json" in names
+        assert "metrics-merged.json" in names
+        assert "== merged (all specs) ==" in stdout
+        merged = json.loads((tmp_path / "metrics-merged.json").read_text())
+        per_spec = json.loads((tmp_path / "metrics-fig6-h=5.json").read_text())
+        # Merged counters fold both replicas' work together.
+        merged_events = merged["metrics"]["engine_events_total"]["series"]
+        spec_events = per_spec["metrics"]["engine_events_total"]["series"]
+        total = lambda series: sum(row["value"] for row in series)  # noqa: E731
+        assert total(merged_events) > total(spec_events)
+
+
+class TestSweep:
+    def test_sweep_writes_per_spec_csv_artifacts(self, tmp_path, capsys):
+        csv_base = tmp_path / "sweep.csv"
+        code = main(
+            ["sweep", "fig8", "--seeds", "2", "--jobs", "2", "--csv", str(csv_base)]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert (tmp_path / "sweep-fig8.csv").exists()
+        assert (tmp_path / "sweep-fig8-r1.csv").exists()
+        assert "== fig8 ==" in out
+        assert "== fig8-r1 ==" in out
+
+    def test_sweep_param_grid_reaches_experiment_kwargs(self, capsys):
+        # ``A:B`` coerces to a tuple, matching tuple-typed experiment
+        # parameters like fig6's capacity list.
+        code = main(
+            ["sweep", "fig6", "--param", "capacities_gib=40:80",
+             "--horizon-days", "5", "--seed", "3"]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "capacities_gib=" in out  # spec slug names the swept param
+        assert "40 GiB" in out and "80 GiB" in out  # both capacities simulated
+
+    def test_sweep_rejects_malformed_param(self, capsys):
+        assert main(["sweep", "fig6", "--param", "oops"]) == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_sweep_rejects_duplicate_param(self, capsys):
+        code = main(
+            ["sweep", "fig6", "--param", "a=1", "--param", "a=2"]
+        )
+        assert code == 2
+        assert "duplicate" in capsys.readouterr().err

@@ -65,6 +65,7 @@ class TestReannotate:
         obj = make_obj(1.0)
         store.offer(obj, 0.0)
         reannotate(store, obj.object_id, ConstantImportance(), days(1))
-        assert store.accepted_count == 2  # original + replacement
-        assert store.evicted_count == 1
-        assert store.used_bytes == gib(1)
+        stats = store.stats()
+        assert stats.accepted_count == 2  # original + replacement
+        assert stats.evicted_count == 1
+        assert stats.used_bytes == gib(1)

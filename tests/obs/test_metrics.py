@@ -257,3 +257,114 @@ class TestPrometheusExposition:
             reg.counter("bad name")
         with pytest.raises(ObservabilityError):
             reg.gauge("ok", labelnames=("bad-label",))
+
+
+class TestRegistryMerge:
+    """Folding worker registries into the parent after a parallel run."""
+
+    def test_counter_values_sum_per_labelled_series(self):
+        mine, theirs = MetricsRegistry(), MetricsRegistry()
+        mine.counter("events_total", "E.", ("kind",)).inc(3, kind="arrival")
+        theirs.counter("events_total", "E.", ("kind",)).inc(2, kind="arrival")
+        theirs.counter("events_total", "E.", ("kind",)).inc(5, kind="eviction")
+        mine.merge(theirs)
+        merged = mine.get("events_total")
+        assert merged.value(kind="arrival") == 5.0
+        assert merged.value(kind="eviction") == 5.0  # theirs-only series adopted
+
+    def test_gauge_takes_last_writer(self):
+        mine, theirs = MetricsRegistry(), MetricsRegistry()
+        mine.gauge("queue_depth", "Q.").set(3.0)
+        theirs.gauge("queue_depth", "Q.").set(7.0)
+        mine.merge(theirs)
+        assert mine.get("queue_depth").value() == 7.0
+
+    def test_gauge_series_absent_from_other_survive(self):
+        mine, theirs = MetricsRegistry(), MetricsRegistry()
+        mine.gauge("occupancy", "O.", ("unit",)).set(0.5, unit="a")
+        theirs.gauge("occupancy", "O.", ("unit",)).set(0.9, unit="b")
+        mine.merge(theirs)
+        merged = mine.get("occupancy")
+        assert merged.value(unit="a") == 0.5
+        assert merged.value(unit="b") == 0.9
+
+    def test_histogram_adds_bucketwise(self):
+        mine, theirs = MetricsRegistry(), MetricsRegistry()
+        bounds = (1.0, 10.0)
+        mine.histogram("lat", "L.", buckets=bounds).observe(0.5)
+        mine.histogram("lat", "L.", buckets=bounds).observe(5.0)
+        theirs.histogram("lat", "L.", buckets=bounds).observe(0.6)
+        theirs.histogram("lat", "L.", buckets=bounds).observe(50.0)
+        mine.merge(theirs)
+        snap = mine.get("lat").snapshot()
+        assert snap["count"] == 4
+        assert snap["sum"] == pytest.approx(56.1)
+        assert snap["min"] == 0.5
+        assert snap["max"] == 50.0
+        # Cumulative bucket counts add bucket-wise: two <=1.0, one <=10.0.
+        assert snap["buckets"][repr(1.0)] == 2
+        assert snap["buckets"][repr(10.0)] == 3
+        assert snap["buckets"]["+Inf"] == 4
+
+    def test_metrics_unknown_to_self_are_adopted(self):
+        mine, theirs = MetricsRegistry(), MetricsRegistry()
+        theirs.counter("worker_only_total", "W.").inc(4)
+        theirs.histogram("worker_hist", "H.", buckets=(1.0,)).observe(0.5)
+        mine.merge(theirs)
+        assert mine.get("worker_only_total").value() == 4.0
+        assert mine.get("worker_hist").snapshot()["count"] == 1
+
+    def test_merge_returns_self_for_fold_chaining(self):
+        mine, theirs = MetricsRegistry(), MetricsRegistry()
+        assert mine.merge(theirs) is mine
+
+    def test_histogram_bucket_layout_mismatch_raises(self):
+        mine, theirs = MetricsRegistry(), MetricsRegistry()
+        mine.histogram("lat", "L.", buckets=(1.0, 10.0)).observe(0.5)
+        theirs.histogram("lat", "L.", buckets=(2.0, 20.0)).observe(0.5)
+        with pytest.raises(ObservabilityError, match="different buckets"):
+            mine.merge(theirs)
+
+    def test_type_mismatch_raises(self):
+        mine, theirs = MetricsRegistry(), MetricsRegistry()
+        mine.counter("depth", "D.").inc()
+        theirs.gauge("depth", "D.").set(1.0)
+        with pytest.raises(ObservabilityError):
+            mine.merge(theirs)
+
+
+class TestRegistryFromDict:
+    """Worker payloads rebuild into live registries (the merge transport)."""
+
+    def _populated(self):
+        reg = MetricsRegistry()
+        reg.counter("events_total", "E.", ("kind",)).inc(3, kind="arrival")
+        reg.gauge("density", "D.").set(0.83)
+        hist = reg.histogram("scan_s", "S.", buckets=(0.1, 1.0))
+        hist.observe(0.05)
+        hist.observe(0.5)
+        hist.observe(7.0)
+        return reg
+
+    def test_round_trip_re_exports_identical_payload(self):
+        payload = self._populated().to_dict()
+        rebuilt = MetricsRegistry.from_dict(payload)
+        assert rebuilt.to_dict() == payload
+
+    def test_rebuilt_registries_merge_like_live_ones(self):
+        # Serialise two "workers", rebuild, fold: counters sum and the
+        # histogram quantile machinery still works on de-cumulated buckets.
+        a = MetricsRegistry.from_dict(self._populated().to_dict())
+        b = MetricsRegistry.from_dict(self._populated().to_dict())
+        a.merge(b)
+        assert a.get("events_total").value(kind="arrival") == 6.0
+        snap = a.get("scan_s").snapshot()
+        assert snap["count"] == 6
+        assert snap["min"] == 0.05
+        assert a.get("scan_s").quantile(1.0) == 7.0
+
+    def test_unknown_metric_type_rejected(self):
+        with pytest.raises(ObservabilityError, match="unknown type"):
+            MetricsRegistry.from_dict(
+                {"weird": {"type": "summary", "help": "", "labelnames": [], "series": []}}
+            )

@@ -152,3 +152,63 @@ class TestTimeSeriesCollector:
                     "series": {"x": {"kind": "gauge", "t": [0.0, 1.0], "v": [1.0]}},
                 }
             )
+
+
+class TestCollectorMerge:
+    """Folding per-worker collectors back into the parent's."""
+
+    def _scraped(self, samples, *, max_points=512):
+        """A collector that scraped ``{label: value}`` dicts at t=0,1,..."""
+        collector = TimeSeriesCollector(interval_minutes=1.0, max_points=max_points)
+        for t, gauges in enumerate(samples):
+            registry = MetricsRegistry()
+            for name, value in gauges.items():
+                registry.gauge(name, "g").set(value)
+            collector.scrape(float(t), registry)
+        return collector
+
+    def test_adopts_series_unknown_to_self(self):
+        mine = self._scraped([{"density": 0.5}])
+        theirs = self._scraped([{"worker_only": 1.0}])
+        mine.merge(theirs)
+        assert "worker_only" in mine
+        assert mine.values("worker_only") == [1.0]
+        assert mine.kind("worker_only") == "gauge"
+
+    def test_shared_series_interleave_by_time(self):
+        mine = TimeSeriesCollector(interval_minutes=1.0)
+        theirs = TimeSeriesCollector(interval_minutes=1.0)
+        for t in (0.0, 2.0):
+            registry = MetricsRegistry()
+            registry.gauge("density", "g").set(t)
+            mine.scrape(t, registry)
+        for t in (1.0, 3.0):
+            registry = MetricsRegistry()
+            registry.gauge("density", "g").set(t)
+            theirs.scrape(t, registry)
+        mine.merge(theirs)
+        assert mine.get("density").points() == [
+            (0.0, 0.0), (1.0, 1.0), (2.0, 2.0), (3.0, 3.0),
+        ]
+
+    def test_merge_redownsamples_to_bound_keeping_last_sample(self):
+        mine = self._scraped([{"density": float(t)} for t in range(4)], max_points=4)
+        theirs = self._scraped([{"density": 10.0 + t} for t in range(3)], max_points=4)
+        mine.merge(theirs)
+        buffer = mine.get("density")
+        # 7 samples halve once (3 pairs + odd tail) down to 4 points...
+        assert len(buffer) == 4
+        assert buffer.merged_per_point == 2
+        # ...and the odd trailing sample (mine's final scrape) survives verbatim.
+        assert buffer.points()[-1] == (3.0, 3.0)
+
+    def test_scrape_count_sums_and_cadence_takes_max(self):
+        mine = self._scraped([{"a": 1.0}] * 3)
+        theirs = self._scraped([{"a": 1.0}] * 5)
+        mine.merge(theirs)
+        assert mine.scrape_count == 8
+        assert mine.next_due == max(3.0, 5.0)  # last scrape at t=4 + 1min... see below
+
+    def test_merge_returns_self_for_fold_chaining(self):
+        mine = self._scraped([{"a": 1.0}])
+        assert mine.merge(self._scraped([{"a": 2.0}])) is mine

@@ -22,7 +22,7 @@ class TestFeedArrivals:
         # Only the first arrival is in the heap; the rest follow lazily.
         assert engine.pending == 1
         engine.run(days(10))
-        assert store.resident_count == 5
+        assert store.stats().resident_count == 5
         assert [a.t for a in recorder.arrivals] == [days(i) for i in range(5)]
 
     def test_rejects_backwards_stream(self):
@@ -39,7 +39,25 @@ class TestFeedArrivals:
         arrivals = [make_obj(1.0, t_arrival=days(i)) for i in (1, 2, 50)]
         feed_arrivals(engine, store, iter(arrivals), None, horizon_minutes=days(10))
         engine.run(days(10))
-        assert store.resident_count == 2
+        assert store.stats().resident_count == 2
+
+    def test_over_horizon_arrival_does_not_drop_rest_of_stream(self):
+        # Regression: one over-horizon arrival used to stop the stream,
+        # silently dropping every later in-horizon arrival.
+        store = StorageUnit(gib(100), TemporalImportancePolicy())
+        engine = SimulationEngine()
+        arrivals = [make_obj(1.0, t_arrival=days(t)) for t in (1, 50, 2, 3)]
+        feed_arrivals(engine, store, iter(arrivals), None, horizon_minutes=days(10))
+        engine.run(days(10))
+        assert store.stats().resident_count == 3
+
+    def test_backwards_stream_still_raises_after_horizon_skip(self):
+        store = StorageUnit(gib(100), TemporalImportancePolicy())
+        engine = SimulationEngine()
+        arrivals = [make_obj(1.0, t_arrival=days(t)) for t in (5, 50, 1)]
+        feed_arrivals(engine, store, iter(arrivals), None, horizon_minutes=days(10))
+        with pytest.raises(SimulationError, match="backwards"):
+            engine.run(days(10))
 
 
 class TestRunSingleStore:
