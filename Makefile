@@ -1,4 +1,4 @@
-.PHONY: install test unit test-parallel obs-smoke bench bench-baseline bench-check examples figures lint clean
+.PHONY: install test unit test-parallel obs-smoke bench bench-index bench-baseline bench-check examples figures lint clean
 
 install:
 	pip install -e '.[test]'
@@ -28,6 +28,13 @@ obs-smoke:
 
 bench:
 	PYTHONPATH=src$${PYTHONPATH:+:$$PYTHONPATH} pytest benchmarks/ --benchmark-only
+
+# Importance-index micro-benchmark: naive full-sort admission planning vs
+# the bucketed index at 10k/50k residents (see docs/performance.md).
+bench-index:
+	PYTHONPATH=src$${PYTHONPATH:+:$$PYTHONPATH} pytest \
+		benchmarks/test_perf_admission_index.py -q --benchmark-disable \
+		--bench-check benchmarks/baselines
 
 # Perf-regression harness: record BENCH_*.json baselines, then gate future
 # runs on wall-time (+tolerance) and artifact checksums.  See

@@ -35,6 +35,7 @@ from repro.core.density import (
     importance_density,
     importance_histogram,
 )
+from repro.core.index import DensityAccumulator, ImportanceIndex
 from repro.core.policy import EvictionPolicy
 from repro.core.policies import (
     FIFOPolicy,
@@ -52,6 +53,7 @@ __all__ = [
     "AnnotationAdvisor",
     "AdmissionResult",
     "ConstantImportance",
+    "DensityAccumulator",
     "DiracImportance",
     "EvictionPolicy",
     "EvictionRecord",
@@ -61,6 +63,7 @@ __all__ = [
     "FixedLifetimePolicy",
     "GreedySizePolicy",
     "ImportanceFunction",
+    "ImportanceIndex",
     "LRUPolicy",
     "ObjectId",
     "PalimpsestPolicy",

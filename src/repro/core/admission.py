@@ -86,7 +86,14 @@ def plan_preemptive_admission(
         return AdmissionPlan(admit=True, reason="free-space")
 
     needed = obj.size - free
-    ordered = order(store.iter_residents(), now)
+    index = getattr(store, "importance_index", None) if order is importance_order else None
+    if index is not None:
+        # Sort only the candidate tail the index proves sufficient; the
+        # final sort uses the exact paper key, so the greedy prefix below
+        # is identical to the full-sort prefix (see docs/performance.md).
+        ordered = importance_order(index.victim_candidates(now, needed), now)
+    else:
+        ordered = order(store.iter_residents(), now)
     victims: list[StoredObject] = []
     freed = 0
     for resident in ordered:

@@ -18,7 +18,8 @@ threshold probe used by Figures 6/12 commentary.
 
 from __future__ import annotations
 
-from bisect import bisect_left
+import math
+from bisect import bisect_right
 from dataclasses import dataclass
 from typing import Sequence
 
@@ -44,19 +45,36 @@ class DensitySample:
     resident_count: int
 
 
-def importance_density(store: StorageUnit, now: float) -> float:
+def importance_density(
+    store: StorageUnit, now: float, *, closed_form: bool = False
+) -> float:
     """Instantaneous storage importance density of ``store`` at ``now``.
 
     Returns a value in ``[0, 1]``; an empty store has density 0 and a store
     packed with importance-1 objects approaches 1 (exactly 1 only if no
     byte is free).
+
+    Indexed stores answer from their
+    :class:`~repro.core.index.ImportanceIndex` instead of scanning every
+    resident; the result is bit-identical to the naive scan (both are the
+    correctly-rounded sum of the same per-object terms).  ``closed_form``
+    opts into the O(1) ``C + A - B*t`` evaluation — approximate to ~1e-9
+    relative, meant for monitoring gauges, never for artifacts; naive
+    stores ignore the flag.
     """
-    weighted = 0.0
-    for obj in store.iter_residents():
-        importance = obj.importance_at(now)
-        if importance > 0.0:
-            weighted += importance * obj.size
-    return weighted / store.capacity_bytes
+    index = getattr(store, "importance_index", None)
+    if index is not None:
+        if closed_form:
+            return index.closed_form_mass(now) / store.capacity_bytes
+        return index.exact_mass(now) / store.capacity_bytes
+    return (
+        math.fsum(
+            importance * obj.size
+            for obj in store.iter_residents()
+            if (importance := obj.importance_at(now)) > 0.0
+        )
+        / store.capacity_bytes
+    )
 
 
 def byte_importance_snapshot(
@@ -96,14 +114,13 @@ def importance_histogram(
         raise ValueError(f"bins must be >= 2 ascending edges, got {bins!r}")
     counts = [0] * (len(edges) - 1)
     for importance, size in byte_importance_snapshot(store, now, include_free=include_free):
-        idx = bisect_left(edges, importance)
-        # bisect_left returns the first edge >= importance; map importance
-        # falling on an interior edge into the bin it opens.
-        if idx == len(edges):
-            idx -= 1  # importance above the last edge: clamp into last bin
-        if idx > 0 and (idx == len(edges) - 0 or importance < edges[idx]):
-            idx -= 1
-        idx = min(idx, len(counts) - 1)
+        # Index of the bin whose half-open interval [lo, hi) holds the
+        # importance: the last edge <= it.  Clamping covers the two closed
+        # ends — below the first edge lands in the first bin, and anything
+        # at or above the last edge (importance 1.0 with default bins) lands
+        # in the final, closed bin.
+        idx = bisect_right(edges, importance) - 1
+        idx = min(max(idx, 0), len(counts) - 1)
         counts[idx] += size
     return [(edges[i], edges[i + 1], counts[i]) for i in range(len(counts))]
 
@@ -111,18 +128,23 @@ def importance_histogram(
 def admission_threshold(store: StorageUnit, probe_size: int, now: float) -> float:
     """Lowest initial importance (to 2 decimals) admissible right now.
 
-    Probes the store's policy with synthetic ``probe_size`` objects of
-    decreasing importance and returns the smallest importance that would be
-    admitted; returns ``inf`` if even importance 1.0 is refused (e.g. the
-    probe exceeds raw capacity).  The *difference* between this threshold
-    and an object's annotated importance is the longevity indication the
-    paper describes in Section 5.1.2.
+    Probes the store's policy with synthetic ``probe_size`` objects and
+    returns the smallest importance that would be admitted; returns ``inf``
+    if even importance 1.0 is refused (e.g. the probe exceeds raw
+    capacity).  The *difference* between this threshold and an object's
+    annotated importance is the longevity indication the paper describes in
+    Section 5.1.2.
+
+    Admissibility is monotone in the probe's importance under preemptive
+    admission — the victim set and its highest preempted importance do not
+    depend on the probe's own importance, only the final comparison does —
+    so the 101 candidate steps are binary-searched with at most 8
+    ``peek_admission`` calls instead of scanned linearly.
     """
     from repro.core.importance import FixedLifetimeImportance
     from repro.core.obj import StoredObject
 
-    admissible = float("inf")
-    for step in range(100, -1, -1):
+    def admits(step: int) -> bool:
         importance = step / 100.0
         probe = StoredObject(
             size=probe_size,
@@ -132,9 +154,16 @@ def admission_threshold(store: StorageUnit, probe_size: int, now: float) -> floa
             else FixedLifetimeImportance(p=0.0, expire_after=0.0),
             object_id=f"__probe-{step}",
         )
-        plan = store.peek_admission(probe, now)
-        if plan.admit:
-            admissible = importance
+        return store.peek_admission(probe, now).admit
+
+    if not admits(100):
+        return float("inf")
+    # Invariant: step `hi` admits, every step below `lo` refuses.
+    lo, hi = 0, 100
+    while lo < hi:
+        mid = (lo + hi) // 2
+        if admits(mid):
+            hi = mid
         else:
-            break
-    return admissible
+            lo = mid + 1
+    return hi / 100.0

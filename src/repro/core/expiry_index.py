@@ -26,6 +26,7 @@ from collections import defaultdict
 from repro.core.obj import ObjectId, StoredObject
 from repro.core.store import EvictionRecord, StorageUnit
 from repro.errors import ReproError
+from repro.obs import COUNT_BUCKETS, STATE as _OBS
 from repro.units import days
 
 __all__ = ["ExpiryIndex", "IndexedSweeper"]
@@ -134,8 +135,9 @@ class IndexedSweeper:
         the expired buckets.  Candidates from the straddling bucket are
         re-checked against their exact expiry.
         """
+        candidates = self.index.expired_ids(now)
         records = []
-        for object_id in self.index.expired_ids(now):
+        for object_id in candidates:
             if object_id not in self.store:
                 # Defensive: the eviction hook should have discarded it.
                 self.index.discard(object_id)
@@ -144,4 +146,12 @@ class IndexedSweeper:
             if not obj.is_expired_at(now):
                 continue  # straddling-bucket member, not yet due
             records.append(self.store.remove(object_id, now, reason="expired"))
+        if _OBS.enabled:
+            _OBS.registry.histogram(
+                "store_reclaim_scan_length",
+                "Residents examined per reclamation pass (admission planning or "
+                "expiry sweep).",
+                ("unit",),
+                buckets=COUNT_BUCKETS,
+            ).observe(len(candidates), unit=self.store.name)
         return tuple(records)

@@ -101,6 +101,32 @@ class ImportanceFunction(ABC):
         """Importance at age zero (the object's arrival)."""
         return self.importance_at(0.0)
 
+    @property
+    def stable_until(self) -> float:
+        """Largest age (minutes) through which ``L`` is provably constant.
+
+        For every age ``a`` with ``0 <= a <= stable_until`` (and the object
+        not yet expired), ``importance_at(a)`` returns *exactly*
+        :attr:`initial_importance` — the invariant
+        :class:`repro.core.index.ImportanceIndex` relies on to keep an
+        object in a constant-importance bucket without re-evaluating ``L``.
+        The default of ``0.0`` is always safe (the index then treats the
+        object as waning from the start, recomputing importance on demand);
+        subclasses widen it where their shape guarantees it.
+        """
+        return 0.0
+
+    def wane_coefficients(self) -> tuple[float, float] | None:
+        """Linear-wane coefficients ``(u, v)``, or None if the wane is not linear.
+
+        When not None, ``importance_at(age) == u - v * age`` (up to float
+        evaluation order) for all ages strictly inside the wane window
+        ``(stable_until, t_expire)``.  Used by the closed-form density
+        accumulator; functions with non-linear or stepped wanes return None
+        and are evaluated per probe instead.
+        """
+        return None
+
     @abstractmethod
     def importance_at(self, age_minutes: float) -> float:
         """Return ``L(age)`` for an age in minutes, clamped to ``[0, 1]``."""
@@ -149,6 +175,10 @@ class ConstantImportance(ImportanceFunction):
     def t_expire(self) -> float:
         return math.inf
 
+    @property
+    def stable_until(self) -> float:
+        return math.inf
+
     def importance_at(self, age_minutes: float) -> float:
         self._clamp_age(age_minutes)
         return self.p
@@ -168,6 +198,10 @@ class DiracImportance(ImportanceFunction):
     @property
     def t_expire(self) -> float:
         return 0.0
+
+    @property
+    def stable_until(self) -> float:
+        return math.inf  # identically zero: trivially constant
 
     def importance_at(self, age_minutes: float) -> float:
         self._clamp_age(age_minutes)
@@ -194,6 +228,10 @@ class FixedLifetimeImportance(ImportanceFunction):
     @property
     def t_expire(self) -> float:
         return self.expire_after
+
+    @property
+    def stable_until(self) -> float:
+        return self.expire_after  # constant right up to the expiry cliff
 
     def importance_at(self, age_minutes: float) -> float:
         age = self._clamp_age(age_minutes)
@@ -232,6 +270,15 @@ class TwoStepImportance(ImportanceFunction):
     @property
     def t_expire(self) -> float:
         return self.t_persist + self.t_wane
+
+    @property
+    def stable_until(self) -> float:
+        return self.t_persist
+
+    def wane_coefficients(self) -> tuple[float, float] | None:
+        if self.t_wane <= 0.0:
+            return None  # no wane window at all
+        return (self.p * self.t_expire / self.t_wane, self.p / self.t_wane)
 
     def importance_at(self, age_minutes: float) -> float:
         age = self._clamp_age(age_minutes)
@@ -278,6 +325,10 @@ class ExponentialWaneImportance(ImportanceFunction):
     def t_expire(self) -> float:
         return self.t_persist + self.t_wane
 
+    @property
+    def stable_until(self) -> float:
+        return self.t_persist
+
     def importance_at(self, age_minutes: float) -> float:
         age = self._clamp_age(age_minutes)
         if age >= self.t_expire:
@@ -316,6 +367,10 @@ class StepWaneImportance(ImportanceFunction):
     @property
     def t_expire(self) -> float:
         return self.t_persist + self.t_wane
+
+    @property
+    def stable_until(self) -> float:
+        return self.t_persist
 
     def importance_at(self, age_minutes: float) -> float:
         age = self._clamp_age(age_minutes)
@@ -380,6 +435,12 @@ class PiecewiseLinearImportance(ImportanceFunction):
             expire = age
         return expire
 
+    @property
+    def stable_until(self) -> float:
+        # Constant at the first knot's value up to (and including) its age.
+        # Later knots may extend the plateau, but this bound is always safe.
+        return self.points[0][0]
+
     def importance_at(self, age_minutes: float) -> float:
         age = self._clamp_age(age_minutes)
         pts = self.points
@@ -423,6 +484,18 @@ class ScaledImportance(ImportanceFunction):
     @property
     def t_expire(self) -> float:
         return self.inner.t_expire
+
+    @property
+    def stable_until(self) -> float:
+        # factor * (a constant) is itself constant over the same prefix.
+        return self.inner.stable_until
+
+    def wane_coefficients(self) -> tuple[float, float] | None:
+        coeffs = self.inner.wane_coefficients()
+        if coeffs is None:
+            return None
+        u, v = coeffs
+        return (self.factor * u, self.factor * v)
 
     def importance_at(self, age_minutes: float) -> float:
         return self.factor * self.inner.importance_at(age_minutes)

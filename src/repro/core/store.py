@@ -15,12 +15,27 @@ from dataclasses import dataclass
 from time import perf_counter
 from typing import Callable, Iterator
 
+from repro.core.index import ImportanceIndex
 from repro.core.obj import ObjectId, StoredObject
 from repro.core.policy import AdmissionPlan, EvictionPolicy
 from repro.errors import CapacityError, UnknownObjectError
 from repro.obs import COUNT_BUCKETS, STATE as _OBS
 
-__all__ = ["EvictionRecord", "RejectionRecord", "AdmissionResult", "StorageUnit", "StoreStats"]
+__all__ = [
+    "EvictionRecord",
+    "RejectionRecord",
+    "AdmissionResult",
+    "StorageUnit",
+    "StoreStats",
+    "DEFAULT_INDEXED",
+]
+
+#: Default for ``StorageUnit(indexed=...)`` when the caller passes None.
+#: The importance index is behaviour-preserving (plans, evictions and
+#: densities are bit-identical to the naive path), so it is on everywhere;
+#: differential tests flip this module global to run the naive reference
+#: oracle without threading a parameter through every scenario builder.
+DEFAULT_INDEXED = True
 
 
 @dataclass(frozen=True)
@@ -125,6 +140,13 @@ class StorageUnit:
         in :attr:`evictions` / :attr:`rejections`.  Long multi-year
         simulations with external recorders can disable retention and rely
         on the ``on_eviction`` / ``on_rejection`` callbacks instead.
+    indexed:
+        When True, maintain an :class:`~repro.core.index.ImportanceIndex`
+        over the residents: admission planning sorts only a candidate tail
+        and density probes stop scanning every resident, with bit-identical
+        results.  ``None`` (default) follows the module-level
+        :data:`DEFAULT_INDEXED`; pass False to force the naive reference
+        path (the differential-test oracle).
     """
 
     def __init__(
@@ -134,6 +156,7 @@ class StorageUnit:
         *,
         name: str = "unit-0",
         keep_history: bool = True,
+        indexed: bool | None = None,
     ) -> None:
         if not isinstance(capacity_bytes, int) or capacity_bytes <= 0:
             raise CapacityError(f"capacity must be a positive int, got {capacity_bytes!r}")
@@ -141,6 +164,12 @@ class StorageUnit:
         self.policy = policy
         self.name = name
         self.keep_history = keep_history
+        if indexed is None:
+            indexed = DEFAULT_INDEXED
+        #: Phase-bucketed resident index, or None on the naive path.
+        self.importance_index: ImportanceIndex | None = (
+            ImportanceIndex() if indexed else None
+        )
 
         self._residents: dict[ObjectId, StoredObject] = {}
         self._used_bytes = 0
@@ -270,6 +299,8 @@ class StorageUnit:
         self._residents[obj.object_id] = obj
         self._used_bytes += obj.size
         self._last_access[obj.object_id] = now
+        if self.importance_index is not None:
+            self.importance_index.add(obj, now)
         self.accepted_count += 1
         self.bytes_accepted += obj.size
         if _OBS.enabled:
@@ -281,8 +312,14 @@ class StorageUnit:
 
         This is the probe the Besteffs placement algorithm runs against
         each sampled unit to learn the *highest importance object that will
-        be preempted* (Section 5.3).
+        be preempted* (Section 5.3).  Probes run hot during placement, so
+        they share ``offer``'s ``store.plan_admission`` profiler phase.
         """
+        if _OBS.enabled:
+            t0 = perf_counter()
+            plan = self.policy.plan_admission(self, obj, now)
+            _OBS.profiler.observe("store.plan_admission", perf_counter() - t0)
+            return plan
         return self.policy.plan_admission(self, obj, now)
 
     def touch(self, object_id: ObjectId, now: float) -> StoredObject:
@@ -303,8 +340,14 @@ class StorageUnit:
         preempted — but delete-optimised deployments (Douglis et al.) sweep
         eagerly, and experiments use this to measure squatting.
         """
-        scanned = len(self._residents)
-        expired = [o for o in self._residents.values() if o.is_expired_at(now)]
+        if self.importance_index is not None:
+            # The index already knows who expired; only those are examined
+            # (and in admission order, matching the naive scan's output).
+            expired = self.importance_index.expired_objects(now)
+            scanned = len(expired)
+        else:
+            scanned = len(self._residents)
+            expired = [o for o in self._residents.values() if o.is_expired_at(now)]
         records = tuple(self._evict(o, now, reason="expired", preempted_by=None) for o in expired)
         if _OBS.enabled:
             _OBS.registry.histogram(
@@ -329,6 +372,8 @@ class StorageUnit:
         del self._residents[victim.object_id]
         self._last_access.pop(victim.object_id, None)
         self._used_bytes -= victim.size
+        if self.importance_index is not None:
+            self.importance_index.discard(victim.object_id)
         record = EvictionRecord(
             obj=victim,
             t_evicted=now,

@@ -1,0 +1,49 @@
+"""The importance index must not move a single artifact byte.
+
+Runs the two quantitative anchor experiments (fig6 density feedback, sec53
+university projection) twice in-process — once on the naive reference path
+(``DEFAULT_INDEXED = False``) and once with the index — and compares the
+artifact sha256 over the rendered report, CSV headers and the
+full-precision rows.  Together with the jobs-parity determinism suite
+(which runs with the index on by default) this pins the acceptance
+criterion: indexed and naive artifacts are byte-identical.
+"""
+
+import hashlib
+
+import pytest
+
+import repro.core.store as store_module
+from repro.sim.parallel import RunSpec, execute_spec
+
+SPECS = [
+    RunSpec("fig6", seed=7, horizon_days=40.0),
+    RunSpec("sec53", seed=11, horizon_days=30.0),
+]
+
+
+def _artifact_sha(outcome):
+    digest = hashlib.sha256()
+    digest.update(outcome.rendered.encode())
+    digest.update("|".join(outcome.headers).encode())
+    for row in outcome.rows:
+        digest.update(repr(row).encode())
+    return digest.hexdigest()
+
+
+def _run(spec, *, indexed):
+    previous = store_module.DEFAULT_INDEXED
+    store_module.DEFAULT_INDEXED = indexed
+    try:
+        outcome = execute_spec(spec)
+    finally:
+        store_module.DEFAULT_INDEXED = previous
+    assert outcome.ok, outcome.error
+    return outcome
+
+
+@pytest.mark.parametrize("spec", SPECS, ids=lambda s: s.experiment)
+def test_indexed_artifacts_match_the_naive_oracle(spec):
+    naive = _run(spec, indexed=False)
+    indexed = _run(spec, indexed=True)
+    assert _artifact_sha(naive) == _artifact_sha(indexed)
