@@ -1,10 +1,11 @@
-.PHONY: install test unit test-parallel obs-smoke bench bench-index bench-baseline bench-check examples figures lint clean
+.PHONY: install test unit test-parallel obs-smoke audit-smoke alerts-check bench bench-index bench-baseline bench-check examples figures lint clean
 
 install:
 	pip install -e '.[test]'
 
-# Default gate: lint, the tier-1 suite, and an instrumented smoke run.
-test: lint unit obs-smoke
+# Default gate: lint, the tier-1 suite, and the instrumented smoke runs
+# (obs stack, audit/explain round-trip, SLO alert CI gate).
+test: lint unit obs-smoke audit-smoke alerts-check
 
 # Mirrors the tier-1 verify command: works from a clean checkout with no
 # editable install (PYTHONPATH picks up src/).
@@ -25,6 +26,22 @@ test-parallel:
 obs-smoke:
 	PYTHONPATH=src$${PYTHONPATH:+:$$PYTHONPATH} python examples/obs_demo.py >/dev/null
 	@echo "obs smoke OK"
+
+# Decision-provenance round trip: audited run -> JSONL ledger -> explain.
+audit-smoke:
+	PYTHONPATH=src$${PYTHONPATH:+:$$PYTHONPATH} python examples/explain_demo.py >/dev/null
+	@echo "audit smoke OK"
+
+# The SLO gate exactly as CI runs it: a short audited run, then
+# `repro-sim alerts --check` over its exports (exit 1 on violation).
+alerts-check:
+	@rm -rf .alerts-check && mkdir -p .alerts-check
+	PYTHONPATH=src$${PYTHONPATH:+:$$PYTHONPATH} python -m repro.cli run fig6 \
+		--horizon-days 30 --metrics-out .alerts-check/fig6.json >/dev/null
+	PYTHONPATH=src$${PYTHONPATH:+:$$PYTHONPATH} python -m repro.cli alerts \
+		.alerts-check --check
+	@rm -rf .alerts-check
+	@echo "alerts check OK"
 
 bench:
 	PYTHONPATH=src$${PYTHONPATH:+:$$PYTHONPATH} pytest benchmarks/ --benchmark-only
@@ -67,5 +84,5 @@ lint:
 # Caches only — benchmarks/out holds committed reference output and must
 # survive a clean.
 clean:
-	rm -rf .pytest_cache .hypothesis .ruff_cache build dist src/*.egg-info
+	rm -rf .pytest_cache .hypothesis .ruff_cache .alerts-check build dist src/*.egg-info
 	find . -name __pycache__ -type d -exec rm -rf {} +

@@ -36,6 +36,9 @@ from repro.core import (
     importance_density,
 )
 from repro.experiments.registry import run_experiment
+from repro.obs.alerts import AlertEngine, AlertRule, load_rules
+from repro.obs.audit import AuditLedger, AuditRecord
+from repro.report.explain import explain_object, load_run_ledger
 from repro.sim import Recorder, ScenarioResult, SimulationEngine, run_single_store
 from repro.sim.parallel import (
     ObsOptions,
@@ -80,4 +83,12 @@ __all__ = [
     "run_experiment",
     "run_specs",
     "seed_for",
+    # decision provenance + SLO alerts
+    "AlertEngine",
+    "AlertRule",
+    "AuditLedger",
+    "AuditRecord",
+    "explain_object",
+    "load_rules",
+    "load_run_ledger",
 ]

@@ -219,6 +219,9 @@ class BesteffsCluster:
                 node.used_bytes / node.capacity_bytes, unit=node_id
             )
         collector.scrape(now)
+        alerts = _OBS.alerts
+        if alerts is not None:
+            alerts.evaluate(registry, now=now)
 
     def locate(self, object_id: ObjectId) -> BesteffsNode:
         """Find the node currently holding an object."""

@@ -112,6 +112,23 @@ def choose_unit(
             nodes, overlay, obj, now, config=config, rng=rng, start_node=start_node
         )
     _record_decision(decision)
+    if not decision.placed:
+        ledger = _OBS.audit
+        if ledger is not None and ledger.wants(obj.object_id):
+            # Cluster-level rejection: every probed unit was full for this
+            # object, so no single node made the call — the unit is the
+            # cluster and the occupancy is the cluster-wide pressure.
+            capacity = sum(n.capacity_bytes for n in nodes.values())
+            used = sum(n.used_bytes for n in nodes.values())
+            ledger.record(
+                "reject",
+                t=now,
+                obj=obj,
+                unit="cluster",
+                importance=obj.importance_at(now),
+                occupancy=used / capacity if capacity else 0.0,
+                reason=decision.reason,
+            )
     return decision, node
 
 

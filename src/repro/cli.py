@@ -31,6 +31,14 @@ writes one self-contained HTML dashboard over every experiment run.  Any
 of these flags enables the instrumentation layer; without them it is
 entirely off.  ``repro-sim dashboard <run-dir>`` rebuilds a dashboard
 later from the ``--metrics-out`` JSON files of a previous run.
+
+Decision provenance and SLO alerts: ``--audit-out FILE`` records every
+admit/reject/evict/expire/refresh decision (with the exact thresholds
+compared) into a JSONL ledger — ``--audit-sample`` bounds its overhead —
+and ``repro-sim explain <ledger-or-dir> <object-id>`` reconstructs one
+object's timeline from it.  ``--alerts FILE`` evaluates declarative SLO
+rules at every scrape; ``repro-sim alerts <run-dir> [--check]`` re-checks
+a finished run's exports and exits 1 on violation (the CI gate).
 """
 
 from __future__ import annotations
@@ -138,6 +146,32 @@ def _add_run_flags(parser: argparse.ArgumentParser) -> None:
         help="sim-time cadence for time-series scrapes (default: 1 day)",
     )
     parser.add_argument(
+        "--audit-out",
+        type=str,
+        default=None,
+        metavar="FILE",
+        help="write the decision-provenance ledger as JSONL (per experiment, "
+        "plus a -merged ledger for multi-spec runs); keep 'audit' in the "
+        "filename so 'repro-sim explain' can discover it",
+    )
+    parser.add_argument(
+        "--audit-sample",
+        type=float,
+        default=1.0,
+        metavar="RATE",
+        help="fraction of object ids audited, deterministic per id so "
+        "sampled objects keep complete timelines (default: 1.0)",
+    )
+    parser.add_argument(
+        "--alerts",
+        dest="alert_rules",
+        type=str,
+        default=None,
+        metavar="FILE",
+        help="evaluate SLO alert rules from FILE at every scrape (JSON "
+        "mapping or flat 'name: expr' lines)",
+    )
+    parser.add_argument(
         "--log-level",
         choices=["debug", "info", "warning", "error"],
         default=None,
@@ -200,26 +234,82 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="FILE",
         help="output HTML path (default: <run-dir>/dashboard.html)",
     )
+    explain_parser = sub.add_parser(
+        "explain",
+        help="reconstruct one object's decision timeline from an audit ledger",
+    )
+    explain_parser.add_argument(
+        "run_dir",
+        help="an --audit-out JSONL ledger, or a run directory holding them",
+    )
+    explain_parser.add_argument(
+        "object_id",
+        nargs="?",
+        default=None,
+        help="object to explain (omit to list the most eventful objects)",
+    )
+    explain_parser.add_argument(
+        "--limit",
+        type=int,
+        default=40,
+        metavar="N",
+        help="objects shown when listing (default: 40)",
+    )
+    alerts_parser = sub.add_parser(
+        "alerts", help="evaluate SLO alert rules against a run's metrics exports"
+    )
+    alerts_parser.add_argument(
+        "run_dir",
+        help="directory holding --metrics-out JSON exports (or one JSON file)",
+    )
+    alerts_parser.add_argument(
+        "--rules",
+        type=str,
+        default=None,
+        metavar="FILE",
+        help="rules file (JSON mapping or flat 'name: expr' lines; "
+        "default: built-in sanity invariants)",
+    )
+    alerts_parser.add_argument(
+        "--check",
+        action="store_true",
+        help="exit 1 when any rule fails (CI gate)",
+    )
     return parser
 
 
 def _obs_options(args: argparse.Namespace) -> ObsOptions:
-    """Translate CLI flags into per-spec observability options."""
+    """Translate CLI flags into per-spec observability options.
+
+    Alert rules are loaded here, in the parent process, into picklable
+    ``(name, expression)`` pairs so worker processes never touch the
+    rules file (and a bad file fails fast, before any work is done).
+    """
     requested = bool(
         args.metrics_out
         or args.trace
         or args.log_level
         or args.log_file
         or args.dashboard_out
+        or args.audit_out
+        or args.alert_rules
     )
     if not requested:
         return ObsOptions()
+    alert_pairs: tuple[tuple[str, str], ...] = ()
+    if args.alert_rules:
+        from repro.obs.alerts import load_rules
+
+        alert_pairs = tuple((r.name, r.expr) for r in load_rules(args.alert_rules))
     return ObsOptions(
         metrics=True,
         trace=bool(args.trace),
         scrape_interval_days=args.scrape_interval_days,
         log_level=args.log_level,
         log_file=args.log_file,
+        audit=bool(args.audit_out),
+        audit_sample=args.audit_sample,
+        alert_rules=alert_pairs,
     )
 
 
@@ -258,6 +348,24 @@ def _metrics_path(base: str, name: str, multiple: bool) -> str:
     return f"{root}-{name}{ext or '.json'}"
 
 
+def _audit_path(base: str, name: str, multiple: bool) -> str:
+    if not multiple:
+        return base
+    root, ext = os.path.splitext(base)
+    return f"{root}-{name}{ext or '.jsonl'}"
+
+
+def _write_audit(path: str, ledger: Any) -> None:
+    """Write one audit ledger as JSONL, creating parent directories."""
+    parent = os.path.dirname(path)
+    if parent:
+        os.makedirs(parent, exist_ok=True)
+    with open(path, "w", encoding="utf-8") as fh:
+        written = ledger.write_jsonl(fh)
+    note = f" ({ledger.dropped} dropped by ring buffer)" if ledger.dropped else ""
+    print(f"[audit ledger written to {path}: {written} records{note}]")
+
+
 def _write_metrics_payload(path: str, payload: dict[str, Any], trace: bool) -> None:
     """Write one telemetry payload as ``--metrics-out`` JSON or .prom text."""
     from repro.obs import MetricsRegistry
@@ -275,6 +383,10 @@ def _write_metrics_payload(path: str, payload: dict[str, Any], trace: bool) -> N
         data.pop("spans", None)
     if not data.get("profile"):
         data.pop("profile", None)
+    # The audit ledger travels in its own JSONL file (--audit-out), not
+    # inside the metrics export; alerts stay — they are small and the
+    # dashboard/alerts subcommands read them from here.
+    data.pop("audit", None)
     with open(path, "w", encoding="utf-8") as fh:
         json.dump(data, fh, indent=2)
         fh.write("\n")
@@ -291,23 +403,23 @@ def _csv_path(base: str, label: str, multiple: bool) -> str:
     return base if not multiple else f"{base.rstrip('.csv')}-{label}.csv"
 
 
-def _dashboard_from_dir(run_dir: str, out: str | None) -> int:
-    """The ``dashboard`` subcommand: rebuild HTML from metrics JSON files."""
-    from repro.report.dashboard import write_dashboard
+def _load_payloads(run_dir: str) -> list[dict[str, Any]]:
+    """Load the ``--metrics-out`` JSON payloads of a finished run.
 
+    ``run_dir`` is either one JSON file or a directory of them; files
+    that are unreadable or not metrics exports are skipped with a note.
+    Raises :class:`ReproError` when nothing usable is found.
+    """
     if os.path.isfile(run_dir):
         paths = [run_dir]
-        default_out = os.path.splitext(run_dir)[0] + ".html"
     elif os.path.isdir(run_dir):
         paths = sorted(
             os.path.join(run_dir, f)
             for f in os.listdir(run_dir)
             if f.endswith(".json")
         )
-        default_out = os.path.join(run_dir, "dashboard.html")
     else:
-        print(f"error: {run_dir!r} is not a file or directory", file=sys.stderr)
-        return 2
+        raise ReproError(f"{run_dir!r} is not a file or directory")
     payloads = []
     for path in paths:
         try:
@@ -322,16 +434,97 @@ def _dashboard_from_dir(run_dir: str, out: str | None) -> int:
             )
             payloads.append(data)
     if not payloads:
-        print(f"error: no metrics JSON payloads found under {run_dir!r}", file=sys.stderr)
+        raise ReproError(f"no metrics JSON payloads found under {run_dir!r}")
+    return payloads
+
+
+def _dashboard_from_dir(run_dir: str, out: str | None) -> int:
+    """The ``dashboard`` subcommand: rebuild HTML from metrics JSON files."""
+    from repro.report.dashboard import write_dashboard
+
+    try:
+        payloads = _load_payloads(run_dir)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
         return 2
+    if os.path.isfile(run_dir):
+        default_out = os.path.splitext(run_dir)[0] + ".html"
+    else:
+        default_out = os.path.join(run_dir, "dashboard.html")
     target = write_dashboard(out or default_out, payloads)
     print(f"[dashboard written to {target}]")
     return 0
 
 
+def _explain_cmd(args: argparse.Namespace) -> int:
+    """The ``explain`` subcommand: one object's decision timeline."""
+    from repro.report.explain import explain_object, list_objects, load_run_ledger
+
+    try:
+        ledger = load_run_ledger(args.run_dir)
+        if args.object_id is None:
+            print(list_objects(ledger, limit=args.limit))
+        else:
+            print(explain_object(ledger, args.object_id))
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    return 0
+
+
+def _alerts_cmd(args: argparse.Namespace) -> int:
+    """The ``alerts`` subcommand: re-check SLO rules against a run's exports.
+
+    Per-spec payloads are merged (``-merged`` exports are skipped to avoid
+    double counting) and every rule is evaluated against the merged
+    registry; with ``--check`` a failing rule exits 1 — the CI gate.
+    """
+    from repro.obs import MetricsRegistry
+    from repro.obs.alerts import DEFAULT_RULES, AlertEngine, load_rules
+    from repro.report.metrics import alerts_verdict_line
+    from repro.report.table import TextTable
+
+    try:
+        payloads = _load_payloads(args.run_dir)
+        if args.rules:
+            engine = AlertEngine(rules=load_rules(args.rules))
+        else:
+            engine = AlertEngine.from_pairs(DEFAULT_RULES)
+    except (OSError, ReproError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    registry = MetricsRegistry()
+    merged = 0
+    for payload in payloads:
+        if payload.get("experiment") == "merged" and len(payloads) > 1:
+            continue
+        registry.merge(MetricsRegistry.from_dict(payload["metrics"]))
+        merged += 1
+    results = engine.evaluate(registry)
+    table = TextTable(
+        ["rule", "expression", "value", "verdict"],
+        title=f"SLO alerts ({merged} payload{'s' if merged != 1 else ''})",
+    )
+    for result in results:
+        table.add_row(
+            [
+                result.rule.name,
+                result.rule.expr,
+                "-" if result.value is None else f"{result.value:.6g}",
+                result.verdict,
+            ]
+        )
+    print(table.render())
+    print(alerts_verdict_line(engine))
+    if not engine.passed and args.check:
+        return 1
+    return 0
+
+
 def _run_serial(names: list[str], args: argparse.Namespace) -> int:
     """The historical inline path: one experiment at a time, live obs STATE."""
-    obs_requested = _obs_options(args).enabled
+    opts = _obs_options(args)
+    obs_requested = opts.enabled
     if obs_requested:
         from repro import obs
         from repro.obs import TimeSeriesCollector
@@ -352,6 +545,14 @@ def _run_serial(names: list[str], args: argparse.Namespace) -> int:
                 obs.STATE.timeseries = TimeSeriesCollector(
                     interval_minutes=args.scrape_interval_days * 1440.0
                 )
+                if opts.audit:
+                    from repro.obs.audit import AuditLedger
+
+                    obs.STATE.audit = AuditLedger(sample=opts.audit_sample)
+                if opts.alert_rules:
+                    from repro.obs.alerts import AlertEngine
+
+                    obs.STATE.alerts = AlertEngine.from_pairs(opts.alert_rules)
             _result, rendered, (headers, rows) = EXPERIMENTS[name](args)
             print(f"== {name} ==")
             print(rendered)
@@ -363,7 +564,17 @@ def _run_serial(names: list[str], args: argparse.Namespace) -> int:
             if obs_requested:
                 from repro.report.metrics import metrics_summary
 
-                print(metrics_summary(obs.STATE.registry, timeseries=obs.STATE.timeseries))
+                if obs.STATE.alerts is not None:
+                    # End-of-run evaluation so engine-less drives (and runs
+                    # shorter than one scrape interval) still get a verdict.
+                    obs.STATE.alerts.evaluate(obs.STATE.registry)
+                print(
+                    metrics_summary(
+                        obs.STATE.registry,
+                        timeseries=obs.STATE.timeseries,
+                        alerts=obs.STATE.alerts,
+                    )
+                )
                 print()
                 if args.trace:
                     print(obs.STATE.tracer.render())
@@ -372,6 +583,9 @@ def _run_serial(names: list[str], args: argparse.Namespace) -> int:
                     path = _metrics_path(args.metrics_out, name, len(names) > 1)
                     _write_metrics(path, name, args.trace)
                     print(f"[metrics written to {path}]")
+                if args.audit_out is not None and obs.STATE.audit is not None:
+                    path = _audit_path(args.audit_out, name, len(names) > 1)
+                    _write_audit(path, obs.STATE.audit)
                 if args.dashboard_out is not None:
                     from repro.report.dashboard import collect_payload
 
@@ -404,6 +618,7 @@ def _run_parallel(specs: list[RunSpec], args: argparse.Namespace, *, sweep: bool
     dashboard_payloads: list[dict[str, Any]] = []
     merged_registry = None
     merged_timeseries = None
+    merged_ledger = None
     if obs_on:
         from repro.obs import (
             MetricsRegistry,
@@ -433,7 +648,18 @@ def _run_parallel(specs: list[RunSpec], args: argparse.Namespace, *, sweep: bool
         timeseries = None
         if "timeseries" in outcome.telemetry:
             timeseries = TimeSeriesCollector.from_dict(outcome.telemetry["timeseries"])
-        print(metrics_summary(registry, timeseries=timeseries))
+        ledger = None
+        if "audit" in outcome.telemetry:
+            from repro.obs.audit import AuditLedger
+
+            ledger = AuditLedger.from_dict(outcome.telemetry["audit"])
+        print(
+            metrics_summary(
+                registry,
+                timeseries=timeseries,
+                alerts=outcome.telemetry.get("alerts"),
+            )
+        )
         print()
         if args.trace:
             print(render_aggregates(outcome.telemetry.get("spans", {})))
@@ -442,6 +668,9 @@ def _run_parallel(specs: list[RunSpec], args: argparse.Namespace, *, sweep: bool
             path = _metrics_path(args.metrics_out, label, multiple)
             _write_metrics_payload(path, outcome.telemetry, args.trace)
             print(f"[metrics written to {path}]")
+        if args.audit_out is not None and ledger is not None:
+            path = _audit_path(args.audit_out, label, multiple)
+            _write_audit(path, ledger)
         if args.dashboard_out is not None:
             dashboard_payloads.append(outcome.telemetry)
         merged_registry.merge(registry)
@@ -450,9 +679,31 @@ def _run_parallel(specs: list[RunSpec], args: argparse.Namespace, *, sweep: bool
                 merged_timeseries = timeseries
             else:
                 merged_timeseries.merge(timeseries)
+        if ledger is not None:
+            # Outcomes arrive in submission order, so the merged ledger is
+            # deterministic regardless of --jobs.
+            if merged_ledger is None:
+                merged_ledger = ledger
+            else:
+                merged_ledger.merge(ledger)
     if obs_on and multiple and len(merged_registry):
+        merged_alerts = None
+        alert_pairs = next(
+            (spec.obs.alert_rules for spec in specs if spec.obs.alert_rules), ()
+        )
+        if alert_pairs:
+            # Re-evaluate the rules against the cross-spec registry: a rule
+            # can pass on every shard yet fail in aggregate (or vice versa).
+            from repro.obs.alerts import AlertEngine
+
+            merged_alerts = AlertEngine.from_pairs(alert_pairs)
+            merged_alerts.evaluate(merged_registry)
         print("== merged (all specs) ==")
-        print(metrics_summary(merged_registry, timeseries=merged_timeseries))
+        print(
+            metrics_summary(
+                merged_registry, timeseries=merged_timeseries, alerts=merged_alerts
+            )
+        )
         print()
         if args.metrics_out is not None:
             merged_payload: dict[str, Any] = {
@@ -461,9 +712,13 @@ def _run_parallel(specs: list[RunSpec], args: argparse.Namespace, *, sweep: bool
             }
             if merged_timeseries is not None:
                 merged_payload["timeseries"] = merged_timeseries.to_dict()
+            if merged_alerts is not None:
+                merged_payload["alerts"] = merged_alerts.to_dict()
             path = _metrics_path(args.metrics_out, "merged", True)
             _write_metrics_payload(path, merged_payload, trace=False)
             print(f"[metrics written to {path}]")
+        if args.audit_out is not None and merged_ledger is not None:
+            _write_audit(_audit_path(args.audit_out, "merged", True), merged_ledger)
     if args.dashboard_out is not None and dashboard_payloads:
         from repro.report.dashboard import write_dashboard
 
@@ -486,6 +741,10 @@ def main(argv: list[str] | None = None) -> int:
         return 0
     if args.command == "dashboard":
         return _dashboard_from_dir(args.run_dir, args.out)
+    if args.command == "explain":
+        return _explain_cmd(args)
+    if args.command == "alerts":
+        return _alerts_cmd(args)
     if args.command == "sweep":
         try:
             grid = _parse_param_grid(args.param)
@@ -503,11 +762,15 @@ def main(argv: list[str] | None = None) -> int:
         return _run_parallel(specs, args, sweep=True)
 
     names = list(EXPERIMENTS) if args.experiment == "all" else [args.experiment]
-    if args.jobs > 1:
-        obs_opts = _obs_options(args)
-        specs = [_spec_from_args(name, args, obs=obs_opts) for name in names]
-        return _run_parallel(specs, args, sweep=False)
-    return _run_serial(names, args)
+    try:
+        if args.jobs > 1:
+            obs_opts = _obs_options(args)
+            specs = [_spec_from_args(name, args, obs=obs_opts) for name in names]
+            return _run_parallel(specs, args, sweep=False)
+        return _run_serial(names, args)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
 
 
 if __name__ == "__main__":  # pragma: no cover - exercised via __main__

@@ -115,8 +115,13 @@ def plan_preemptive_admission(
             highest_preempted=highest,
             blocking_importance=highest,
             reason="full-for-importance",
+            incoming_importance=incoming,
         )
     reason = "expired-only" if highest == 0.0 else "preempt"
     return AdmissionPlan(
-        admit=True, victims=tuple(victims), highest_preempted=highest, reason=reason
+        admit=True,
+        victims=tuple(victims),
+        highest_preempted=highest,
+        reason=reason,
+        incoming_importance=incoming,
     )

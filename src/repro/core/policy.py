@@ -46,6 +46,12 @@ class AdmissionPlan:
         Short machine-readable cause: ``"free-space"``, ``"preempt"``,
         ``"full-for-importance"``, ``"object-too-large"``, ``"expired-only"``
         (policy-specific strings are allowed).
+    incoming_importance:
+        The incoming object's current importance as the planner computed
+        it, when a threshold comparison actually happened (``None`` on
+        free-space admits and guard rejections).  Carried on the plan so
+        the audit ledger records the *exact* float the store compared —
+        a twin-store replay reproduces it bit for bit.
     """
 
     admit: bool
@@ -53,6 +59,7 @@ class AdmissionPlan:
     highest_preempted: float = 0.0
     blocking_importance: float | None = None
     reason: str = ""
+    incoming_importance: float | None = None
 
     @property
     def victim_bytes(self) -> int:

@@ -268,6 +268,7 @@ class StorageUnit:
             _OBS.profiler.observe("store.plan_admission", perf_counter() - t0)
         else:
             plan = self.policy.plan_admission(self, obj, now)
+        ledger = _OBS.audit if _OBS.enabled else None
         if not plan.admit:
             rejection = RejectionRecord(
                 obj=obj,
@@ -284,11 +285,36 @@ class StorageUnit:
                 self.on_rejection(rejection)
             if _OBS.enabled:
                 self._obs_offer(admitted=False, plan=plan, scanned=0, now=now)
+            if ledger is not None and ledger.wants(obj.object_id):
+                incoming = plan.incoming_importance
+                ledger.record(
+                    "reject",
+                    t=now,
+                    obj=obj,
+                    unit=self.name,
+                    importance=obj.importance_at(now) if incoming is None else incoming,
+                    threshold=plan.blocking_importance,
+                    occupancy=self._used_bytes / self.capacity_bytes,
+                    reason=plan.reason,
+                )
             return AdmissionResult(admitted=False, plan=plan, rejection=rejection)
 
         scanned = len(self._residents) if plan.victims else 0
+        if ledger is not None:
+            # Pressure and the exact compared importance, captured *before*
+            # any victim leaves — this is the context the plan was made in.
+            occupancy_at_plan = self._used_bytes / self.capacity_bytes
+            incoming = plan.incoming_importance
+            if incoming is None:
+                incoming = obj.importance_at(now)
+            evict_threshold: float | None = incoming if plan.victims else None
+        else:
+            evict_threshold = None
         evictions = tuple(
-            self._evict(victim, now, reason="preempted", preempted_by=obj.object_id)
+            self._evict(
+                victim, now, reason="preempted", preempted_by=obj.object_id,
+                threshold=evict_threshold,
+            )
             for victim in plan.victims
         )
         if obj.size > self.free_bytes:
@@ -305,6 +331,18 @@ class StorageUnit:
         self.bytes_accepted += obj.size
         if _OBS.enabled:
             self._obs_offer(admitted=True, plan=plan, scanned=scanned, now=now)
+        if ledger is not None and ledger.wants(obj.object_id):
+            ledger.record(
+                "admit",
+                t=now,
+                obj=obj,
+                unit=self.name,
+                importance=incoming,
+                threshold=plan.highest_preempted if plan.victims else None,
+                occupancy=occupancy_at_plan,
+                reason=plan.reason,
+                competing=tuple(v.object_id for v in plan.victims),
+            )
         return AdmissionResult(admitted=True, plan=plan, evictions=evictions)
 
     def peek_admission(self, obj: StoredObject, now: float) -> AdmissionPlan:
@@ -366,6 +404,7 @@ class StorageUnit:
         *,
         reason: str,
         preempted_by: ObjectId | None,
+        threshold: float | None = None,
     ) -> EvictionRecord:
         if victim.object_id not in self._residents:
             raise UnknownObjectError(f"{victim.object_id!r} not stored on {self.name}")
@@ -390,6 +429,22 @@ class StorageUnit:
                 "Objects evicted from storage units.",
                 ("unit", "reason"),
             ).inc(unit=self.name, reason=reason)
+            ledger = _OBS.audit
+            if ledger is not None and ledger.wants(victim.object_id):
+                # ``threshold`` is the preemptor's incoming importance —
+                # the comparison this victim lost.  Occupancy is restored
+                # to its pre-eviction value (decision-time pressure).
+                ledger.record(
+                    "expire" if reason == "expired" else "evict",
+                    t=now,
+                    obj=victim,
+                    unit=self.name,
+                    importance=record.importance_at_eviction,
+                    threshold=threshold,
+                    occupancy=(self._used_bytes + victim.size) / self.capacity_bytes,
+                    reason=reason,
+                    preempted_by=preempted_by,
+                )
         if self.keep_history:
             self.evictions.append(record)
         if self.on_eviction is not None:

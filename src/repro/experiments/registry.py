@@ -294,12 +294,20 @@ def names() -> Iterable[str]:
 
 def run_cli(spec: RunSpec) -> CliRun:
     """Execute a spec and return ``(result, rendered, [headers, rows])``."""
+    from repro.core.obj import reset_object_ids
+
     try:
         adapter = _ADAPTERS[spec.experiment]
     except KeyError:
         raise ReproError(
             f"unknown experiment {spec.experiment!r}; known: {', '.join(_ADAPTERS)}"
         ) from None
+    # Auto-generated object ids restart at obj-000000 for every spec, so
+    # artifacts that name objects (the audit ledger above all) come out
+    # byte-identical whether specs run inline (--jobs 1, where the
+    # process-global counter would otherwise keep counting across specs)
+    # or in fresh worker processes.
+    reset_object_ids()
     return adapter(spec)
 
 

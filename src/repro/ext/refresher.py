@@ -24,6 +24,7 @@ from typing import Callable
 from repro.core.obj import ObjectId, StoredObject
 from repro.core.store import StorageUnit
 from repro.errors import ReproError
+from repro.obs import STATE as _OBS
 
 __all__ = ["RefreshOutcome", "PalimpsestRefresher"]
 
@@ -149,6 +150,22 @@ class PalimpsestRefresher:
             issued += 1
             self.refreshes += 1
             self.bytes_rewritten += fresh.size
+            if _OBS.enabled:
+                ledger = _OBS.audit
+                if ledger is not None and ledger.wants(fresh.object_id):
+                    # Mark the client-side rejuvenation (the admit record
+                    # for the fresh copy was just written by the store);
+                    # ``preempted_by`` chains back to the copy it replaces.
+                    ledger.record(
+                        "refresh",
+                        t=now,
+                        obj=fresh,
+                        unit=self.store.name,
+                        importance=fresh.importance_at(now),
+                        occupancy=self.store.used_bytes / self.store.capacity_bytes,
+                        reason="palimpsest-refresh",
+                        preempted_by=tracked.current_id,
+                    )
             tracked.current_id = fresh.object_id
             tracked.last_stored = now
             tracked.copies += 1

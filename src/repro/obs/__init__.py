@@ -31,7 +31,7 @@ flag once on entry.
 
 from __future__ import annotations
 
-from typing import IO
+from typing import IO, TYPE_CHECKING
 
 from repro.obs.log import LEVELS, JsonlLogger
 from repro.obs.metrics import (
@@ -46,6 +46,10 @@ from repro.obs.metrics import (
 from repro.obs.profile import PhaseProfiler
 from repro.obs.timeseries import SeriesBuffer, TimeSeriesCollector, series_label
 from repro.obs.tracing import SpanNode, SpanStats, Tracer, render_aggregates
+
+if TYPE_CHECKING:  # pragma: no cover - typing only; audit/alerts stay lazy
+    from repro.obs.alerts import AlertEngine
+    from repro.obs.audit import AuditLedger
 
 __all__ = [
     "COUNT_BUCKETS",
@@ -79,7 +83,10 @@ __all__ = [
 class ObsState:
     """The process-global telemetry switchboard."""
 
-    __slots__ = ("enabled", "registry", "tracer", "logger", "profiler", "timeseries")
+    __slots__ = (
+        "enabled", "registry", "tracer", "logger", "profiler", "timeseries",
+        "audit", "alerts",
+    )
 
     def __init__(self) -> None:
         self.enabled = False
@@ -89,6 +96,13 @@ class ObsState:
         self.profiler = PhaseProfiler()
         #: Optional time-series collector; the engine scrapes it when set.
         self.timeseries: TimeSeriesCollector | None = None
+        #: Optional decision-provenance ledger (:mod:`repro.obs.audit`).
+        #: Left None unless auditing is requested, so the audit module is
+        #: never even imported on un-audited runs.
+        self.audit: AuditLedger | None = None
+        #: Optional SLO rule engine (:mod:`repro.obs.alerts`), evaluated
+        #: at scrape time when set.  Same laziness contract as ``audit``.
+        self.alerts: AlertEngine | None = None
 
 
 #: Global state; hot paths read ``STATE.enabled`` directly.
@@ -101,6 +115,8 @@ def enable(
     tracer: Tracer | None = None,
     logger: JsonlLogger | None = None,
     timeseries: TimeSeriesCollector | None = None,
+    audit: "AuditLedger | None" = None,
+    alerts: "AlertEngine | None" = None,
 ) -> ObsState:
     """Turn instrumentation on, optionally swapping in custom sinks.
 
@@ -114,6 +130,10 @@ def enable(
         STATE.logger = logger
     if timeseries is not None:
         STATE.timeseries = timeseries
+    if audit is not None:
+        STATE.audit = audit
+    if alerts is not None:
+        STATE.alerts = alerts
     STATE.enabled = True
     return STATE
 
@@ -137,6 +157,8 @@ def reset() -> None:
     STATE.logger = JsonlLogger()
     STATE.profiler = PhaseProfiler()
     STATE.timeseries = None
+    STATE.audit = None
+    STATE.alerts = None
 
 
 def configure_logging(level: str = "info", sink: str | IO[str] | list | None = None) -> JsonlLogger:
@@ -151,11 +173,12 @@ def export_payload(experiment: str) -> dict:
     """Snapshot :data:`STATE` into one JSON-friendly telemetry payload.
 
     The schema matches ``--metrics-out`` files and dashboard payloads:
-    ``{experiment, metrics, spans, profile, timeseries?}``.  Parallel
-    workers ship this dict back to the parent, which can rebuild live
-    objects via :meth:`MetricsRegistry.from_dict` /
-    :meth:`TimeSeriesCollector.from_dict` or merge them into its own
-    STATE.
+    ``{experiment, metrics, spans, profile, timeseries?, audit?,
+    alerts?}``.  Parallel workers ship this dict back to the parent,
+    which can rebuild live objects via :meth:`MetricsRegistry.from_dict`
+    / :meth:`TimeSeriesCollector.from_dict` /
+    :meth:`~repro.obs.audit.AuditLedger.from_dict` or merge them into
+    its own STATE.
     """
     payload: dict = {
         "experiment": experiment,
@@ -165,4 +188,8 @@ def export_payload(experiment: str) -> dict:
     }
     if STATE.timeseries is not None:
         payload["timeseries"] = STATE.timeseries.to_dict()
+    if STATE.audit is not None:
+        payload["audit"] = STATE.audit.to_dict()
+    if STATE.alerts is not None:
+        payload["alerts"] = STATE.alerts.to_dict()
     return payload

@@ -98,12 +98,20 @@ def ascii_cdf(
 
 
 def sparkline(values: Sequence[float]) -> str:
-    """One-line block-character sparkline of a numeric series."""
+    """One-line block-character sparkline of a numeric series.
+
+    Constant (or single-point) series render at a level hinting at the
+    value: an all-zero series hugs the floor, anything else sits mid-band.
+    ``math.isclose(lo, hi)`` is deliberately not used here — two distinct
+    floats that are merely close still carry a real trend, and flattening
+    them hides exactly the near-threshold wiggles worth seeing.
+    """
     if not values:
         return ""
     lo, hi = min(values), max(values)
-    if math.isclose(lo, hi):
-        return _TICKS[4] * len(values)
+    if lo == hi:
+        tick = _TICKS[1] if lo == 0 else _TICKS[4]
+        return tick * len(values)
     out = []
     for v in values:
         idx = int((v - lo) / (hi - lo) * (len(_TICKS) - 1))

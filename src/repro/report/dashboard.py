@@ -94,6 +94,8 @@ th, td { text-align: left; padding: 5px 12px; border-bottom: 1px solid var(--lin
 th { color: var(--ink-2); font-weight: 600; font-size: 12px; }
 tr:last-child td { border-bottom: none; }
 td.num, th.num { text-align: right; }
+.ok { color: var(--s3); font-weight: 600; }
+.bad { color: var(--s2); font-weight: 700; }
 .note { color: var(--ink-2); font-size: 12px; margin: 6px 0 0; }
 footer { margin-top: 32px; color: var(--ink-2); font-size: 12px; }
 """
@@ -122,6 +124,8 @@ def collect_payload(experiment: str) -> dict[str, Any]:
     }
     if obs.STATE.timeseries is not None:
         payload["timeseries"] = obs.STATE.timeseries.to_dict()
+    if obs.STATE.alerts is not None:
+        payload["alerts"] = obs.STATE.alerts.to_dict()
     return payload
 
 
@@ -180,7 +184,12 @@ def _svg_sparkline(
     w, h, pad = 240, 56, 4
     lo, hi = min(values), max(values)
     xs = _scale(list(range(len(values))), 0, max(1, len(values) - 1), w - 2 * pad)
-    ys = _scale(values, lo, hi, h - 2 * pad)
+    if lo == hi:
+        # A constant series is a horizontal line through the middle of the
+        # card, not a line pinned to the bottom edge (the _scale fallback).
+        ys = [(h - 2 * pad) / 2.0] * len(values)
+    else:
+        ys = _scale(values, lo, hi, h - 2 * pad)
     pts = " ".join(
         f"{pad + x:.1f},{h - pad - y:.1f}" for x, y in zip(xs, ys)
     )
@@ -352,6 +361,42 @@ def _tiles_section(payload: Mapping[str, Any]) -> str:
         for v, k in tiles
     )
     return f'<div class="tiles">{body}</div>'
+
+
+def _alerts_section(payload: Mapping[str, Any]) -> str:
+    """Pass/fail SLO panel from an :class:`AlertEngine` snapshot."""
+    alerts = payload.get("alerts")
+    if not isinstance(alerts, Mapping) or not alerts.get("rules"):
+        return ""
+    rows = []
+    for rule in alerts["rules"]:
+        passed = rule.get("passed")
+        if passed is None:
+            verdict, cls = "n/a", ""
+        elif passed:
+            verdict, cls = "pass", "ok"
+        else:
+            verdict, cls = "FAIL", "bad"
+        value = rule.get("value")
+        first = rule.get("first_violation")
+        rows.append(
+            f"<tr><td>{_esc(rule.get('name', ''))}</td>"
+            f"<td><code>{_esc(rule.get('expr', ''))}</code></td>"
+            f'<td class="num">{"-" if value is None else _fmt(float(value))}</td>'
+            f'<td class="num">{"-" if first is None else _fmt(float(first))}</td>'
+            f'<td class="{cls}">{verdict}</td></tr>'
+        )
+    overall_ok = bool(alerts.get("passed", True))
+    overall = (
+        '<span class="ok">pass</span>' if overall_ok else '<span class="bad">FAIL</span>'
+    )
+    return (
+        f"<h2>SLO alerts &mdash; {overall}</h2><table><thead><tr>"
+        '<th>rule</th><th>expression</th><th class="num">value</th>'
+        '<th class="num">first violation (sim min)</th><th>verdict</th>'
+        f"</tr></thead><tbody>{''.join(rows)}</tbody></table>"
+        '<p class="note">evaluated at every scrape; value = last evaluation</p>'
+    )
 
 
 def _resample(values: list[float], columns: int) -> list[float]:
@@ -536,6 +581,7 @@ def render_dashboard(
         sections.append(
             f'<section><h2>== {_esc(name)} ==</h2>{sub}'
             + _tiles_section(payload)
+            + _alerts_section(payload)
             + _density_section(payload)
             + _occupancy_section(payload)
             + _timeseries_section(payload)

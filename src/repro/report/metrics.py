@@ -12,15 +12,62 @@ trend-at-a-glance without the HTML dashboard.
 
 from __future__ import annotations
 
+from collections.abc import Mapping
+from typing import Any
+
 from repro.obs.metrics import Counter, Gauge, Histogram, MetricsRegistry
 from repro.obs.timeseries import TimeSeriesCollector, series_label
 from repro.report.asciichart import sparkline
 from repro.report.table import TextTable
 
-__all__ = ["metrics_summary"]
+__all__ = ["alerts_verdict_line", "metrics_summary"]
 
 #: Sparkline width cap; longer series show their most recent samples.
 _TREND_POINTS = 32
+
+
+def alerts_verdict_line(alerts: Any) -> str:
+    """One-line pass/fail digest of an alert evaluation.
+
+    Accepts an :class:`~repro.obs.alerts.AlertEngine`, its ``to_dict()``
+    payload, or a sequence of :class:`~repro.obs.alerts.AlertResult`.
+    Failed rules are named with the value that tripped them so the
+    verdict is actionable without opening the JSON export.
+    """
+    if alerts is None:
+        return ""
+    if hasattr(alerts, "to_dict"):
+        alerts = alerts.to_dict()
+    if isinstance(alerts, Mapping):
+        rules = list(alerts.get("rules", ()))
+    else:  # sequence of AlertResult
+        rules = [
+            {
+                "name": r.rule.name,
+                "expr": r.rule.expr,
+                "value": r.value,
+                "passed": r.passed,
+            }
+            for r in alerts
+        ]
+    if not rules:
+        return ""
+    passed = sum(1 for r in rules if r.get("passed") is True)
+    failed = [r for r in rules if r.get("passed") is False]
+    nodata = sum(1 for r in rules if r.get("passed") is None)
+    parts = [f"{passed} pass"]
+    if failed:
+        parts.append(f"{len(failed)} FAIL")
+    if nodata:
+        parts.append(f"{nodata} n/a")
+    line = f"alerts: {', '.join(parts)}"
+    if failed:
+        detail = "; ".join(
+            f"FAIL {r.get('name')} ({r.get('expr')}; value={r.get('value')})"
+            for r in failed
+        )
+        line += f" — {detail}"
+    return line
 
 
 def _trend(collector: TimeSeriesCollector | None, label: str) -> str:
@@ -35,12 +82,15 @@ def metrics_summary(
     *,
     title: str = "Metrics summary",
     timeseries: TimeSeriesCollector | None = None,
+    alerts: Any = None,
 ) -> str:
     """One aligned table over every series in ``registry``.
 
     ``timeseries`` (optional) adds a trend column sampled from the
     collector's buffers; series the collector never scraped get an empty
-    trend cell.
+    trend cell.  ``alerts`` (optional: an AlertEngine, its ``to_dict()``
+    payload, or AlertResult sequence) appends a one-line SLO verdict
+    under the table.
     """
     headers = ["metric", "type", "value"]
     if timeseries is not None:
@@ -74,4 +124,8 @@ def metrics_summary(
                 add([label, metric.kind, f"{value:.6g}"], label)
     if not table.rows:
         table.add_row(["(no metrics recorded)", "", ""] + ([""] if timeseries is not None else []))
-    return table.render()
+    rendered = table.render()
+    verdict = alerts_verdict_line(alerts)
+    if verdict:
+        rendered += "\n" + verdict
+    return rendered

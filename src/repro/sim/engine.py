@@ -182,6 +182,12 @@ class SimulationEngine:
                 queue_depth.set(len(self._heap))
                 if collector is not None and t >= collector.next_due:
                     collector.scrape(t, registry)
+                    alerts = _OBS.alerts
+                    if alerts is not None:
+                        # Scrape-time SLO evaluation: first-violation sim
+                        # times come from here (the end-of-run evaluation
+                        # alone could not date a transient breach).
+                        alerts.evaluate(registry, now=t)
             else:
                 event.callback(t)
             dispatched_here += 1

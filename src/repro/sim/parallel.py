@@ -63,6 +63,14 @@ class ObsOptions:
     scrape_interval_days: float | None = None
     log_level: str | None = None
     log_file: str | None = None
+    #: Record a decision-provenance ledger (:mod:`repro.obs.audit`).
+    audit: bool = False
+    #: Per-object sampling rate of the audit ledger, in (0, 1].
+    audit_sample: float = 1.0
+    #: Ring-buffer bound of the audit ledger; None = the module default.
+    audit_max_records: int | None = None
+    #: SLO rules as picklable ``(name, expression)`` pairs; empty = off.
+    alert_rules: tuple[tuple[str, str], ...] = ()
 
     @property
     def enabled(self) -> bool:
@@ -73,6 +81,8 @@ class ObsOptions:
             or self.scrape_interval_days
             or self.log_level
             or self.log_file
+            or self.audit
+            or self.alert_rules
         )
 
 
@@ -265,6 +275,18 @@ def execute_spec(spec: RunSpec) -> RunOutcome:
             state.timeseries = obs_mod.TimeSeriesCollector(
                 interval_minutes=opts.scrape_interval_days * 1440.0
             )
+        if opts.audit:
+            # Imported lazily: un-audited runs never load the module.
+            from repro.obs.audit import DEFAULT_MAX_RECORDS, AuditLedger
+
+            state.audit = AuditLedger(
+                sample=opts.audit_sample,
+                max_records=opts.audit_max_records or DEFAULT_MAX_RECORDS,
+            )
+        if opts.alert_rules:
+            from repro.obs.alerts import AlertEngine
+
+            state.alerts = AlertEngine.from_pairs(opts.alert_rules)
     t0 = perf_counter()
     try:
         _result, rendered, (headers, rows) = registry.run_cli(spec)
@@ -280,6 +302,11 @@ def execute_spec(spec: RunSpec) -> RunOutcome:
         if opts.enabled:
             obs_mod.STATE.logger.close()
             obs_mod.disable()
+    if opts.enabled and obs_mod.STATE.alerts is not None:
+        # Always close with an end-of-run evaluation: engine-less drives
+        # (direct cluster offers) may never have hit a scrape, and final
+        # counters are what the CI gate should judge.
+        obs_mod.STATE.alerts.evaluate(obs_mod.STATE.registry)
     telemetry = obs_mod.export_payload(spec.experiment) if opts.enabled else None
     return RunOutcome(
         spec=spec,

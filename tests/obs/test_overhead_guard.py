@@ -1,0 +1,84 @@
+"""Un-audited runs must never pay for the audit/alerts machinery.
+
+The laziness contract: ``repro.obs.audit`` and ``repro.obs.alerts`` are
+imported only when a run actually opts in (``--audit-out`` /
+``--alerts``).  Runs in *this* test process have already imported them
+(other tests do), so the guard drives a real sec53 slice in a fresh
+subprocess and asserts the modules never loaded there.
+"""
+
+import json
+import subprocess
+import sys
+import time
+
+from repro.sim.parallel import ObsOptions, RunSpec, execute_spec
+
+_GUARD_SCRIPT = """
+import json, sys
+from repro.sim.parallel import ObsOptions, RunSpec, execute_spec
+import repro.obs as obs
+
+spec = RunSpec("sec53", seed=7, horizon_days=10.0, obs=ObsOptions(metrics=True))
+outcome = execute_spec(spec)
+assert outcome.ok, outcome.error
+print(json.dumps({
+    "audit_imported": "repro.obs.audit" in sys.modules,
+    "alerts_imported": "repro.obs.alerts" in sys.modules,
+    "explain_imported": "repro.report.explain" in sys.modules,
+    "state_audit_is_none": obs.STATE.audit is None,
+    "state_alerts_is_none": obs.STATE.alerts is None,
+}))
+"""
+
+
+class TestOverheadGuard:
+    def test_unaudited_run_never_imports_audit_machinery(self):
+        proc = subprocess.run(
+            [sys.executable, "-c", _GUARD_SCRIPT],
+            capture_output=True,
+            text=True,
+            check=True,
+        )
+        flags = json.loads(proc.stdout.strip().splitlines()[-1])
+        assert flags == {
+            "audit_imported": False,
+            "alerts_imported": False,
+            "explain_imported": False,
+            "state_audit_is_none": True,
+            "state_alerts_is_none": True,
+        }
+
+    def test_obs_state_has_audit_slots_defaulting_to_none(self):
+        # Attribute-absence guard: hot paths branch on ``STATE.audit is
+        # None`` / ``STATE.alerts is None``; both must exist and default
+        # to None without importing the heavyweight modules.
+        from repro import obs
+
+        obs.reset()
+        assert obs.STATE.audit is None
+        assert obs.STATE.alerts is None
+
+    def test_audit_overhead_timing_smoke(self):
+        # Timing smoke, deliberately generous (interpreter noise): an
+        # audited slice must not be an order of magnitude slower than an
+        # un-audited one.
+        from repro import obs
+        from repro.obs.audit import AuditLedger
+
+        def drive(audit: bool) -> float:
+            obs.reset()
+            if audit:
+                obs.enable(audit=AuditLedger())
+            start = time.perf_counter()
+            outcome = execute_spec(
+                RunSpec("fig6", seed=7, horizon_days=20.0, obs=ObsOptions())
+            )
+            elapsed = time.perf_counter() - start
+            assert outcome.ok
+            obs.reset()
+            return elapsed
+
+        baseline = min(drive(audit=False) for _ in range(2))
+        audited = min(drive(audit=True) for _ in range(2))
+        assert audited < baseline * 10 + 0.5

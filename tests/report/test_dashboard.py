@@ -135,3 +135,58 @@ class TestWriteDashboard:
     def test_boundary_unit_counts_render(self, n_units):
         html = render_dashboard([_payload(n_units=n_units)])
         assert "Density over time" in html
+
+
+class TestAlertsSection:
+    def _alerts_payload(self, passed: bool) -> dict:
+        payload = _payload()
+        payload["alerts"] = {
+            "passed": passed,
+            "evaluations": 4,
+            "rules": [
+                {"name": "occupancy_ok", "expr": "occupancy_max <= 1.0",
+                 "value": 0.8, "passed": True,
+                 "first_violation": None, "violations": 0},
+                {"name": "hard", "expr": "reject_rate < 0.1",
+                 "value": 0.4, "passed": passed,
+                 "first_violation": None if passed else 1440.0,
+                 "violations": 0 if passed else 3},
+                {"name": "ghost", "expr": "no_such > 1",
+                 "value": None, "passed": None,
+                 "first_violation": None, "violations": 0},
+            ],
+        }
+        return payload
+
+    def test_no_alerts_no_section(self):
+        assert "SLO alerts" not in render_dashboard([_payload()])
+
+    def test_failing_panel_shows_fail_and_first_violation(self):
+        html = render_dashboard([self._alerts_payload(passed=False)])
+        assert "SLO alerts" in html
+        assert 'class="bad">FAIL' in html
+        assert "1440" in html
+        assert "n/a" in html
+
+    def test_passing_panel_is_green(self):
+        html = render_dashboard([self._alerts_payload(passed=True)])
+        assert '<span class="ok">pass</span>' in html
+        assert 'class="bad"' not in html
+
+
+class TestConstantSparkline:
+    def test_constant_series_draws_a_centred_midline(self):
+        from repro.report.dashboard import _svg_sparkline
+
+        svg = _svg_sparkline("depth", [0.0, 10.0, 20.0], [1.0, 1.0, 1.0])
+        # lo == hi: every y sits at the vertical centre of the 56px card
+        # (rendered y = 28.0), not on the bottom edge (y = 52.0) the
+        # generic scaler would produce.
+        assert ",28.0" in svg
+        assert ",52.0" not in svg
+
+    def test_varying_series_still_spans_the_card(self):
+        from repro.report.dashboard import _svg_sparkline
+
+        svg = _svg_sparkline("depth", [0.0, 10.0], [1.0, 2.0])
+        assert "polyline" in svg

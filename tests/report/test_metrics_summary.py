@@ -1,0 +1,62 @@
+"""Tests for the metrics-summary alerts verdict line."""
+
+from repro.obs.alerts import AlertEngine
+from repro.obs.metrics import MetricsRegistry
+from repro.report.metrics import alerts_verdict_line, metrics_summary
+
+
+def _failing_engine():
+    registry = MetricsRegistry()
+    counter = registry.counter(
+        "store_admissions_total", "Admissions.", ("unit", "outcome")
+    )
+    counter.inc(9, unit="d", outcome="rejected")
+    counter.inc(1, unit="d", outcome="admitted")
+    engine = AlertEngine.from_mapping(
+        {
+            "hard": "reject_rate < 0.5",
+            "soft": "reject_rate <= 1.0",
+            "ghost": "no_such_signal > 1",
+        }
+    )
+    engine.evaluate(registry)
+    return registry, engine
+
+
+class TestVerdictLine:
+    def test_none_and_empty_render_nothing(self):
+        assert alerts_verdict_line(None) == ""
+        assert alerts_verdict_line({"rules": []}) == ""
+
+    def test_counts_pass_fail_and_nodata(self):
+        _registry, engine = _failing_engine()
+        line = alerts_verdict_line(engine)
+        assert line.startswith("alerts: 1 pass, 1 FAIL, 1 n/a")
+        assert "FAIL hard (reject_rate < 0.5" in line
+
+    def test_accepts_to_dict_payload(self):
+        _registry, engine = _failing_engine()
+        assert alerts_verdict_line(engine.to_dict()) == alerts_verdict_line(engine)
+
+    def test_accepts_result_sequence(self):
+        _registry, engine = _failing_engine()
+        line = alerts_verdict_line(engine.results())
+        assert "1 FAIL" in line
+
+    def test_all_passing_has_no_detail(self):
+        registry = MetricsRegistry()
+        registry.gauge("store_occupancy_ratio", "o", ("unit",)).set(0.5, unit="d")
+        engine = AlertEngine.from_mapping({"ok": "occupancy_max <= 1.0"})
+        engine.evaluate(registry)
+        assert alerts_verdict_line(engine) == "alerts: 1 pass"
+
+
+class TestMetricsSummaryIntegration:
+    def test_verdict_appended_under_table(self):
+        registry, engine = _failing_engine()
+        rendered = metrics_summary(registry, alerts=engine)
+        assert rendered.rstrip().splitlines()[-1].startswith("alerts: ")
+
+    def test_no_alerts_keyword_leaves_table_unchanged(self):
+        registry, _engine = _failing_engine()
+        assert "alerts:" not in metrics_summary(registry)

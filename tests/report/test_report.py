@@ -91,6 +91,21 @@ class TestSparkline:
         line = sparkline([5.0, 5.0])
         assert len(set(line)) == 1
 
+    def test_constant_nonzero_series_sits_mid_band(self):
+        assert sparkline([5.0, 5.0, 5.0]) == "▄▄▄"
+
+    def test_constant_zero_series_hugs_the_floor(self):
+        assert sparkline([0.0, 0.0]) == "▁▁"
+
+    def test_single_point_series(self):
+        assert sparkline([3.0]) == "▄"
+        assert sparkline([0.0]) == "▁"
+
+    def test_near_constant_series_still_shows_trend(self):
+        # Two very close but distinct values must not be flattened.
+        line = sparkline([1.0, 1.0 + 1e-9])
+        assert line[0] != line[1]
+
     def test_empty(self):
         assert sparkline([]) == ""
 
