@@ -1,11 +1,12 @@
-.PHONY: install test unit test-parallel obs-smoke audit-smoke alerts-check bench bench-index bench-baseline bench-check examples figures lint clean
+.PHONY: install test unit test-parallel obs-smoke audit-smoke alerts-check trace-smoke bench bench-index bench-baseline bench-check examples figures lint clean
 
 install:
 	pip install -e '.[test]'
 
 # Default gate: lint, the tier-1 suite, and the instrumented smoke runs
-# (obs stack, audit/explain round-trip, SLO alert CI gate).
-test: lint unit obs-smoke audit-smoke alerts-check
+# (obs stack, audit/explain round-trip, SLO alert CI gate, trace export
+# + flamegraph round trip).
+test: lint unit obs-smoke audit-smoke alerts-check trace-smoke
 
 # Mirrors the tier-1 verify command: works from a clean checkout with no
 # editable install (PYTHONPATH picks up src/).
@@ -42,6 +43,20 @@ alerts-check:
 		.alerts-check --check
 	@rm -rf .alerts-check
 	@echo "alerts check OK"
+
+# Distributed-trace round trip exactly as CI runs it: a tiny sweep with
+# span export, then `repro-sim flamegraph` rebuilds the HTML view from
+# the JSONL shards (exit non-zero if either leg fails).
+trace-smoke:
+	@rm -rf .trace-smoke && mkdir -p .trace-smoke
+	PYTHONPATH=src$${PYTHONPATH:+:$$PYTHONPATH} python -m repro.cli sweep fig6 \
+		--seeds 2 --horizon-days 30 --jobs 2 \
+		--trace-out .trace-smoke/trace.jsonl >/dev/null
+	PYTHONPATH=src$${PYTHONPATH:+:$$PYTHONPATH} python -m repro.cli flamegraph \
+		.trace-smoke >/dev/null
+	@test -s .trace-smoke/flamegraph.html
+	@rm -rf .trace-smoke
+	@echo "trace smoke OK"
 
 bench:
 	PYTHONPATH=src$${PYTHONPATH:+:$$PYTHONPATH} pytest benchmarks/ --benchmark-only

@@ -38,7 +38,19 @@ from repro.core import (
 from repro.experiments.registry import run_experiment
 from repro.obs.alerts import AlertEngine, AlertRule, load_rules
 from repro.obs.audit import AuditLedger, AuditRecord
+from repro.obs.traceexport import (
+    SpanExporter,
+    SpanRecord,
+    TraceArchive,
+    trace_id_for,
+)
 from repro.report.explain import explain_object, load_run_ledger
+from repro.report.flamegraph import (
+    CriticalPathResult,
+    critical_path,
+    render_flamegraph_html,
+    write_flamegraph,
+)
 from repro.sim import Recorder, ScenarioResult, SimulationEngine, run_single_store
 from repro.sim.parallel import (
     ObsOptions,
@@ -91,4 +103,13 @@ __all__ = [
     "explain_object",
     "load_rules",
     "load_run_ledger",
+    # distributed traces + flamegraphs
+    "CriticalPathResult",
+    "SpanExporter",
+    "SpanRecord",
+    "TraceArchive",
+    "critical_path",
+    "render_flamegraph_html",
+    "trace_id_for",
+    "write_flamegraph",
 ]

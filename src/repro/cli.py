@@ -131,6 +131,15 @@ def _add_run_flags(parser: argparse.ArgumentParser) -> None:
         help="record wall-clock spans and print them after each experiment",
     )
     parser.add_argument(
+        "--trace-out",
+        type=str,
+        default=None,
+        metavar="FILE",
+        help="stream completed spans to a JSONL trace shard per spec (plus a "
+        "-merged shard for multi-spec runs); feed the files (or their "
+        "directory) to 'repro-sim flamegraph'",
+    )
+    parser.add_argument(
         "--dashboard-out",
         type=str,
         default=None,
@@ -234,6 +243,28 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="FILE",
         help="output HTML path (default: <run-dir>/dashboard.html)",
     )
+    flame_parser = sub.add_parser(
+        "flamegraph",
+        help="build a flamegraph + timeline HTML from a run's --trace-out shards",
+    )
+    flame_parser.add_argument(
+        "run_dir",
+        help="a --trace-out JSONL shard, or a run directory holding them",
+    )
+    flame_parser.add_argument(
+        "--out",
+        type=str,
+        default=None,
+        metavar="FILE",
+        help="output HTML path (default: <run-dir>/flamegraph.html)",
+    )
+    flame_parser.add_argument(
+        "--top",
+        type=int,
+        default=10,
+        metavar="K",
+        help="spans listed in the critical-path summary (default: 10)",
+    )
     explain_parser = sub.add_parser(
         "explain",
         help="reconstruct one object's decision timeline from an audit ledger",
@@ -288,6 +319,7 @@ def _obs_options(args: argparse.Namespace) -> ObsOptions:
     requested = bool(
         args.metrics_out
         or args.trace
+        or args.trace_out
         or args.log_level
         or args.log_file
         or args.dashboard_out
@@ -304,6 +336,7 @@ def _obs_options(args: argparse.Namespace) -> ObsOptions:
     return ObsOptions(
         metrics=True,
         trace=bool(args.trace),
+        trace_export=bool(args.trace_out),
         scrape_interval_days=args.scrape_interval_days,
         log_level=args.log_level,
         log_file=args.log_file,
@@ -311,6 +344,25 @@ def _obs_options(args: argparse.Namespace) -> ObsOptions:
         audit_sample=args.audit_sample,
         alert_rules=alert_pairs,
     )
+
+
+def _with_trace_id(specs: list[RunSpec]) -> list[RunSpec]:
+    """Tag every spec of one invocation with the shared sweep trace id.
+
+    The id is a pure function of the spec slugs, so ``--jobs 1`` and
+    ``--jobs 4`` runs of the same sweep tag their shards identically.
+    """
+    if not any(spec.obs.trace_export for spec in specs):
+        return specs
+    from dataclasses import replace as _replace
+
+    from repro.obs.traceexport import trace_id_for
+
+    trace_id = trace_id_for([spec.slug() for spec in specs])
+    return [
+        spec.with_overrides(obs=_replace(spec.obs, trace_id=trace_id))
+        for spec in specs
+    ]
 
 
 def _coerce_param_value(text: str) -> Any:
@@ -366,6 +418,27 @@ def _write_audit(path: str, ledger: Any) -> None:
     print(f"[audit ledger written to {path}: {written} records{note}]")
 
 
+def _trace_path(base: str, name: str, multiple: bool) -> str:
+    if not multiple:
+        return base
+    root, ext = os.path.splitext(base)
+    return f"{root}-{name}{ext or '.jsonl'}"
+
+
+def _write_trace(path: str, archive: Any) -> None:
+    """Write one trace archive as JSONL, creating parent directories."""
+    parent = os.path.dirname(path)
+    if parent:
+        os.makedirs(parent, exist_ok=True)
+    written = archive.write_jsonl(path)
+    note = (
+        f" ({archive.dropped_spans} spans dropped by shard bounds)"
+        if archive.dropped_spans
+        else ""
+    )
+    print(f"[trace shard written to {path}: {written} spans{note}]")
+
+
 def _write_metrics_payload(path: str, payload: dict[str, Any], trace: bool) -> None:
     """Write one telemetry payload as ``--metrics-out`` JSON or .prom text."""
     from repro.obs import MetricsRegistry
@@ -380,13 +453,18 @@ def _write_metrics_payload(path: str, payload: dict[str, Any], trace: bool) -> N
         return
     data = dict(payload)
     if not trace:
+        # Span aggregates are verbose and gated on --trace; the loss
+        # counter is one integer and always travels — silent span loss
+        # is exactly what it exists to surface.
         data.pop("spans", None)
     if not data.get("profile"):
         data.pop("profile", None)
-    # The audit ledger travels in its own JSONL file (--audit-out), not
-    # inside the metrics export; alerts stay — they are small and the
-    # dashboard/alerts subcommands read them from here.
+    # The audit ledger and trace shards travel in their own JSONL files
+    # (--audit-out / --trace-out), not inside the metrics export; alerts
+    # stay — they are small and the dashboard/alerts subcommands read
+    # them from here.
     data.pop("audit", None)
+    data.pop("trace", None)
     with open(path, "w", encoding="utf-8") as fh:
         json.dump(data, fh, indent=2)
         fh.write("\n")
@@ -453,6 +531,60 @@ def _dashboard_from_dir(run_dir: str, out: str | None) -> int:
         default_out = os.path.join(run_dir, "dashboard.html")
     target = write_dashboard(out or default_out, payloads)
     print(f"[dashboard written to {target}]")
+    return 0
+
+
+def _trace_files(run_dir: str) -> list[str]:
+    """Locate the ``--trace-out`` JSONL shards of a finished run.
+
+    ``run_dir`` is either one shard or a directory of them.  When a
+    directory holds a ``-merged`` artifact only that file is used — it
+    already folds every per-spec shard, and loading both would double
+    count every span.
+    """
+    from repro.obs.traceexport import is_trace_file
+
+    if os.path.isfile(run_dir):
+        paths = [run_dir]
+    elif os.path.isdir(run_dir):
+        candidates = sorted(
+            os.path.join(run_dir, f)
+            for f in os.listdir(run_dir)
+            if f.endswith(".jsonl")
+        )
+        paths = [p for p in candidates if is_trace_file(p)]
+        merged = [p for p in paths if os.path.basename(p).split(".")[0].endswith("-merged")]
+        if merged:
+            paths = merged
+    else:
+        raise ReproError(f"{run_dir!r} is not a file or directory")
+    if not paths:
+        raise ReproError(f"no trace JSONL shards found under {run_dir!r}")
+    return paths
+
+
+def _flamegraph_cmd(args: argparse.Namespace) -> int:
+    """The ``flamegraph`` subcommand: trace shards -> HTML + critical path."""
+    from repro.report.flamegraph import (
+        critical_path,
+        load_trace_archives,
+        render_critical_path,
+        write_flamegraph,
+    )
+
+    try:
+        archive = load_trace_archives(_trace_files(args.run_dir))
+    except (OSError, ReproError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    if os.path.isfile(args.run_dir):
+        default_out = os.path.splitext(args.run_dir)[0] + ".html"
+    else:
+        default_out = os.path.join(args.run_dir, "flamegraph.html")
+    target = write_flamegraph(args.out or default_out, archive)
+    print(render_critical_path(critical_path(archive, top_k=args.top)))
+    print()
+    print(f"[flamegraph written to {target}]")
     return 0
 
 
@@ -536,6 +668,15 @@ def _run_serial(names: list[str], args: argparse.Namespace) -> int:
                 args.log_level or "info", args.log_file or sys.stderr
             )
     dashboard_payloads: list[dict[str, Any]] = []
+    trace_archives: list[Any] = []
+    slug_for = {
+        name: _spec_from_args(name, args).slug() for name in names
+    }
+    trace_id = ""
+    if opts.trace_export:
+        from repro.obs.traceexport import trace_id_for
+
+        trace_id = trace_id_for(list(slug_for.values()))
     try:
         for name in names:
             if obs_requested:
@@ -553,6 +694,14 @@ def _run_serial(names: list[str], args: argparse.Namespace) -> int:
                     from repro.obs.alerts import AlertEngine
 
                     obs.STATE.alerts = AlertEngine.from_pairs(opts.alert_rules)
+                if opts.trace_export:
+                    from repro.obs.traceexport import SpanExporter
+
+                    obs.STATE.tracer.exporter = SpanExporter(
+                        trace_id=trace_id,
+                        spec=slug_for[name],
+                        shard=slug_for[name],
+                    )
             _result, rendered, (headers, rows) = EXPERIMENTS[name](args)
             print(f"== {name} ==")
             print(rendered)
@@ -586,10 +735,23 @@ def _run_serial(names: list[str], args: argparse.Namespace) -> int:
                 if args.audit_out is not None and obs.STATE.audit is not None:
                     path = _audit_path(args.audit_out, name, len(names) > 1)
                     _write_audit(path, obs.STATE.audit)
+                if args.trace_out is not None and obs.STATE.tracer.exporter is not None:
+                    shard = obs.STATE.tracer.exporter.archive()
+                    trace_archives.append(shard)
+                    path = _trace_path(args.trace_out, slug_for[name], len(names) > 1)
+                    _write_trace(path, shard)
                 if args.dashboard_out is not None:
                     from repro.report.dashboard import collect_payload
 
                     dashboard_payloads.append(collect_payload(name))
+        if args.trace_out is not None and len(trace_archives) > 1:
+            from repro.obs.traceexport import TraceArchive
+            from repro.report.flamegraph import critical_path, render_critical_path
+
+            merged = TraceArchive.merged(trace_archives)
+            _write_trace(_trace_path(args.trace_out, "merged", True), merged)
+            print(render_critical_path(critical_path(merged)))
+            print()
         if args.dashboard_out is not None and dashboard_payloads:
             from repro.report.dashboard import write_dashboard
 
@@ -611,11 +773,13 @@ def _run_parallel(specs: list[RunSpec], args: argparse.Namespace, *, sweep: bool
     (:meth:`MetricsRegistry.merge` / :meth:`TimeSeriesCollector.merge`)
     into one cross-spec summary and ``-merged`` metrics file.
     """
+    specs = _with_trace_id(specs)
     multiple = len(specs) > 1
     obs_on = any(spec.obs.enabled for spec in specs)
     outcomes = run_specs(specs, jobs=args.jobs)
     failures: list[RunOutcome] = []
     dashboard_payloads: list[dict[str, Any]] = []
+    trace_archives: list[Any] = []
     merged_registry = None
     merged_timeseries = None
     merged_ledger = None
@@ -671,6 +835,12 @@ def _run_parallel(specs: list[RunSpec], args: argparse.Namespace, *, sweep: bool
         if args.audit_out is not None and ledger is not None:
             path = _audit_path(args.audit_out, label, multiple)
             _write_audit(path, ledger)
+        if args.trace_out is not None and "trace" in outcome.telemetry:
+            from repro.obs.traceexport import TraceArchive
+
+            shard = TraceArchive.from_dict(outcome.telemetry["trace"])
+            trace_archives.append(shard)
+            _write_trace(_trace_path(args.trace_out, label, multiple), shard)
         if args.dashboard_out is not None:
             dashboard_payloads.append(outcome.telemetry)
         merged_registry.merge(registry)
@@ -719,6 +889,18 @@ def _run_parallel(specs: list[RunSpec], args: argparse.Namespace, *, sweep: bool
             print(f"[metrics written to {path}]")
         if args.audit_out is not None and merged_ledger is not None:
             _write_audit(_audit_path(args.audit_out, "merged", True), merged_ledger)
+    if args.trace_out is not None and len(trace_archives) > 1:
+        from repro.obs.traceexport import TraceArchive
+        from repro.report.flamegraph import critical_path, render_critical_path
+
+        # Shards arrive in submission order and the merge re-sorts by a
+        # total key, so the merged artifact is byte-stable regardless of
+        # --jobs (wall-clock measurement fields aside; see
+        # TraceArchive.canonical_bytes).
+        merged_trace = TraceArchive.merged(trace_archives)
+        _write_trace(_trace_path(args.trace_out, "merged", True), merged_trace)
+        print(render_critical_path(critical_path(merged_trace)))
+        print()
     if args.dashboard_out is not None and dashboard_payloads:
         from repro.report.dashboard import write_dashboard
 
@@ -741,6 +923,8 @@ def main(argv: list[str] | None = None) -> int:
         return 0
     if args.command == "dashboard":
         return _dashboard_from_dir(args.run_dir, args.out)
+    if args.command == "flamegraph":
+        return _flamegraph_cmd(args)
     if args.command == "explain":
         return _explain_cmd(args)
     if args.command == "alerts":

@@ -295,6 +295,7 @@ def names() -> Iterable[str]:
 def run_cli(spec: RunSpec) -> CliRun:
     """Execute a spec and return ``(result, rendered, [headers, rows])``."""
     from repro.core.obj import reset_object_ids
+    from repro.obs import STATE as _OBS
 
     try:
         adapter = _ADAPTERS[spec.experiment]
@@ -308,7 +309,13 @@ def run_cli(spec: RunSpec) -> CliRun:
     # process-global counter would otherwise keep counting across specs)
     # or in fresh worker processes.
     reset_object_ids()
-    return adapter(spec)
+    if not _OBS.enabled:
+        return adapter(spec)
+    # One span per dispatched spec: serial multi-experiment runs get a
+    # per-experiment subtree, and trace shards attribute setup/render
+    # time (everything outside engine.run) to the spec that spent it.
+    with _OBS.tracer.span(f"spec.{spec.experiment}"):
+        return adapter(spec)
 
 
 def run_experiment(spec: RunSpec) -> Any:

@@ -173,10 +173,12 @@ def export_payload(experiment: str) -> dict:
     """Snapshot :data:`STATE` into one JSON-friendly telemetry payload.
 
     The schema matches ``--metrics-out`` files and dashboard payloads:
-    ``{experiment, metrics, spans, profile, timeseries?, audit?,
-    alerts?}``.  Parallel workers ship this dict back to the parent,
-    which can rebuild live objects via :meth:`MetricsRegistry.from_dict`
-    / :meth:`TimeSeriesCollector.from_dict` /
+    ``{experiment, metrics, spans, spans_dropped, profile, timeseries?,
+    trace?, audit?, alerts?}``.  Parallel workers ship this dict back to
+    the parent, which can rebuild live objects via
+    :meth:`MetricsRegistry.from_dict` /
+    :meth:`TimeSeriesCollector.from_dict` /
+    :meth:`~repro.obs.traceexport.TraceArchive.from_dict` /
     :meth:`~repro.obs.audit.AuditLedger.from_dict` or merge them into
     its own STATE.
     """
@@ -184,10 +186,15 @@ def export_payload(experiment: str) -> dict:
         "experiment": experiment,
         "metrics": STATE.registry.to_dict(),
         "spans": STATE.tracer.aggregates(),
+        "spans_dropped": STATE.tracer.dropped_spans,
         "profile": STATE.profiler.aggregates(),
     }
     if STATE.timeseries is not None:
         payload["timeseries"] = STATE.timeseries.to_dict()
+    if STATE.tracer.exporter is not None:
+        exporter = STATE.tracer.exporter
+        payload["trace"] = exporter.to_dict()
+        payload["spans_dropped"] += exporter.dropped_spans
     if STATE.audit is not None:
         payload["audit"] = STATE.audit.to_dict()
     if STATE.alerts is not None:

@@ -1,0 +1,375 @@
+"""Durable, mergeable cross-process span export (the trace pipeline).
+
+:mod:`repro.obs.tracing` answers "where did the wall-clock go" inside
+one process; this module makes the answer survive the process.  A
+:class:`SpanExporter` attached to a :class:`~repro.obs.tracing.Tracer`
+streams every *completed* span — tree-retained or not — into an
+append-only record list with the span's stable id, parent id and a
+``(trace_id, spec, shard)`` context tag, and serialises it as one
+byte-stable JSONL shard per process.  :class:`TraceArchive` folds worker
+shards into one sweep-level trace deterministically, the same discipline
+as :class:`repro.obs.audit.AuditLedger`.
+
+Determinism contract, mirroring the audit ledger:
+
+1. **Span identity is structural.**  ``span_id``/``parent_id``/``seq``
+   derive from open/close order inside a deterministic simulation, and
+   ``spec``/``shard`` from the :class:`~repro.sim.parallel.RunSpec`
+   slug — never from pids, wall-clock or scheduling.  The *structure* of
+   a spec's shard is therefore byte-identical at ``--jobs 1`` and
+   ``--jobs 4`` (pinned by :meth:`TraceArchive.canonical_bytes`).
+2. **Merges are order-free.**  :meth:`TraceArchive.merge` sorts records
+   by the total key ``(spec, shard, seq)``, so folding the same shard
+   set in any grouping or arrival order yields identical bytes.
+3. **Wall-clock is data, not identity.**  ``t_start_us``/``wall_us`` are
+   the measurement the flamegraph and critical-path analysis exist for;
+   they are the *only* fields excluded from the canonical projection.
+
+The JSONL on-disk form is one ``json.dumps(..., sort_keys=True)`` object
+per line: a ``trace-header`` line carrying ``trace_id`` and the shard's
+``dropped_spans`` count, then one ``span`` line per record.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from dataclasses import asdict, dataclass, field
+from time import perf_counter
+from typing import IO, Iterable, Iterator, Mapping, Sequence
+
+__all__ = [
+    "DEFAULT_MAX_SPANS",
+    "SpanExporter",
+    "SpanRecord",
+    "TraceArchive",
+    "is_trace_file",
+    "trace_id_for",
+]
+
+#: Default per-shard record bound — a worker that out-spans it keeps
+#: exact aggregates (the tracer's) but stops appending records, counting
+#: the overflow in ``dropped_spans``.
+DEFAULT_MAX_SPANS = 100_000
+
+#: Fields stripped by the canonical (structure-only) projection.
+_WALL_FIELDS = ("t_start_us", "wall_us")
+
+
+def trace_id_for(slugs: Sequence[str], *, salt: str = "") -> str:
+    """Deterministic trace id of one sweep: a hash of its spec slugs.
+
+    Independent of job count, scheduling and wall-clock, so every worker
+    of a sweep — and a re-run of the same sweep — tags spans with the
+    same id.
+    """
+    ident = "|".join(sorted(slugs)) + "|" + salt
+    return hashlib.sha256(ident.encode("utf-8")).hexdigest()[:16]
+
+
+@dataclass(frozen=True)
+class SpanRecord:
+    """One completed span, as exported across the process boundary.
+
+    Attributes
+    ----------
+    seq:
+        Close-order position within the shard (0-based; re-sorted merges
+        keep the original per-shard value so identity survives folding).
+    span_id / parent_id:
+        The tracer's stable open-order identity; ``parent_id`` is None
+        for the shard's root span.
+    label:
+        The span label (``engine.run``, ``besteffs.choose_unit``, ...).
+    sim_time:
+        Simulation time (minutes) at span open, when provided.
+    t_start_us / wall_us:
+        Wall-clock start (relative to the shard epoch) and duration, in
+        integer microseconds.  Measurement, not identity — excluded from
+        the canonical projection.
+    trace_id / spec / shard:
+        Context tag: the sweep-level trace id, the run-spec slug, and
+        the process/shard identity that recorded the span.
+    """
+
+    seq: int
+    span_id: int
+    parent_id: int | None
+    label: str
+    sim_time: float | None
+    t_start_us: int
+    wall_us: int
+    trace_id: str
+    spec: str
+    shard: str
+
+    def to_dict(self) -> dict:
+        return asdict(self)
+
+    def canonical_dict(self) -> dict:
+        """The structure-only projection (wall-clock fields stripped)."""
+        payload = asdict(self)
+        for key in _WALL_FIELDS:
+            payload.pop(key, None)
+        return payload
+
+    @classmethod
+    def from_dict(cls, payload: Mapping) -> "SpanRecord":
+        data = {key: payload.get(key) for key in cls.__dataclass_fields__}
+        data["seq"] = int(data["seq"] or 0)
+        data["span_id"] = int(data["span_id"] or 0)
+        data["t_start_us"] = int(data.get("t_start_us") or 0)
+        data["wall_us"] = int(data.get("wall_us") or 0)
+        for key in ("label", "trace_id", "spec", "shard"):
+            data[key] = str(data[key] or "")
+        return cls(**data)
+
+
+class SpanExporter:
+    """Per-process span sink: collects :class:`SpanRecord` in close order.
+
+    Attach to a tracer (``Tracer(exporter=...)`` or
+    ``tracer.exporter = ...``); the tracer calls :meth:`export` for every
+    closing span.  The exporter timestamps spans relative to its own
+    construction (the shard epoch), so ``t_start_us`` is meaningful
+    within a shard without any cross-process clock agreement.
+    """
+
+    def __init__(
+        self,
+        *,
+        trace_id: str = "",
+        spec: str = "",
+        shard: str = "",
+        max_spans: int = DEFAULT_MAX_SPANS,
+    ) -> None:
+        if max_spans <= 0:
+            raise ValueError(f"max_spans must be positive, got {max_spans!r}")
+        self.trace_id = trace_id
+        self.spec = spec
+        self.shard = shard or spec
+        self.max_spans = max_spans
+        self.dropped_spans = 0
+        self._epoch = perf_counter()
+        self._records: list[SpanRecord] = []
+
+    def export(
+        self,
+        *,
+        span_id: int,
+        parent_id: int | None,
+        label: str,
+        sim_time: float | None,
+        start: float,
+        duration_s: float,
+    ) -> None:
+        """Record one completed span (called by the tracer on close)."""
+        if len(self._records) >= self.max_spans:
+            self.dropped_spans += 1
+            return
+        self._records.append(
+            SpanRecord(
+                seq=len(self._records),
+                span_id=span_id,
+                parent_id=parent_id,
+                label=label,
+                sim_time=sim_time,
+                t_start_us=int((start - self._epoch) * 1e6),
+                wall_us=int(duration_s * 1e6),
+                trace_id=self.trace_id,
+                spec=self.spec,
+                shard=self.shard,
+            )
+        )
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    @property
+    def records(self) -> tuple[SpanRecord, ...]:
+        return tuple(self._records)
+
+    def archive(self) -> "TraceArchive":
+        """Snapshot this shard as a :class:`TraceArchive`."""
+        archive = TraceArchive(trace_id=self.trace_id)
+        archive._records = list(self._records)
+        archive.dropped_spans = self.dropped_spans
+        return archive
+
+    def to_dict(self) -> dict:
+        """JSON-friendly shard snapshot (the parallel-worker wire format)."""
+        return self.archive().to_dict()
+
+
+@dataclass
+class TraceArchive:
+    """A set of span records from one or many shards, merge-closed.
+
+    One worker's shard is an archive; so is the sweep-level fold of
+    every worker's shard.  Record order inside a single shard is close
+    order; a merged archive is sorted by ``(spec, shard, seq)`` — a
+    total key, so the merged artifact depends only on the shard *set*,
+    never on arrival order or job count.
+    """
+
+    trace_id: str = ""
+    dropped_spans: int = 0
+    _records: list[SpanRecord] = field(default_factory=list, repr=False)
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    def __iter__(self) -> Iterator[SpanRecord]:
+        return iter(tuple(self._records))
+
+    @property
+    def records(self) -> tuple[SpanRecord, ...]:
+        return tuple(self._records)
+
+    def shards(self) -> tuple[str, ...]:
+        """Distinct shard identities present, sorted."""
+        return tuple(sorted({r.shard for r in self._records}))
+
+    def specs(self) -> tuple[str, ...]:
+        """Distinct spec slugs present, sorted."""
+        return tuple(sorted({r.spec for r in self._records}))
+
+    def roots(self) -> tuple[SpanRecord, ...]:
+        """Parentless spans (one per shard in a well-formed trace)."""
+        return tuple(r for r in self._records if r.parent_id is None)
+
+    def children_of(self, record: SpanRecord) -> tuple[SpanRecord, ...]:
+        """Direct children of one span, in close (seq) order."""
+        return tuple(
+            r
+            for r in self._records
+            if r.shard == record.shard and r.parent_id == record.span_id
+        )
+
+    # -- merge -------------------------------------------------------------
+
+    def merge(self, other: "TraceArchive") -> None:
+        """Fold another archive's shards into this one, deterministically.
+
+        The result is re-sorted by ``(spec, shard, seq)``: merging the
+        same shard set in any order or grouping produces byte-identical
+        archives (the jobs=1 vs jobs=4 guarantee).
+        """
+        self._records = sorted(
+            self._records + list(other._records),
+            key=lambda r: (r.spec, r.shard, r.seq),
+        )
+        self.dropped_spans += other.dropped_spans
+        if not self.trace_id:
+            self.trace_id = other.trace_id
+
+    @classmethod
+    def merged(cls, archives: Iterable["TraceArchive"]) -> "TraceArchive":
+        """Fold many shard archives into one sweep-level archive."""
+        out = cls()
+        for archive in archives:
+            out.merge(archive)
+        return out
+
+    # -- IO ----------------------------------------------------------------
+
+    def to_dict(self) -> dict:
+        return {
+            "trace_id": self.trace_id,
+            "dropped_spans": self.dropped_spans,
+            "records": [r.to_dict() for r in self._records],
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Mapping) -> "TraceArchive":
+        archive = cls(
+            trace_id=str(payload.get("trace_id", "")),
+            dropped_spans=int(payload.get("dropped_spans", 0)),
+        )
+        archive._records = [
+            SpanRecord.from_dict(raw) for raw in payload.get("records", ())
+        ]
+        return archive
+
+    def _header(self) -> dict:
+        return {
+            "kind": "trace-header",
+            "schema": 1,
+            "trace_id": self.trace_id,
+            "dropped_spans": self.dropped_spans,
+            "span_count": len(self._records),
+        }
+
+    def write_bytes(self) -> bytes:
+        """The full JSONL shard as bytes (header + every record)."""
+        lines = [json.dumps(self._header(), sort_keys=True)]
+        lines.extend(json.dumps(r.to_dict(), sort_keys=True) for r in self._records)
+        return ("\n".join(lines) + "\n").encode("utf-8")
+
+    def write_jsonl(self, sink: str | IO[str]) -> int:
+        """Write the header plus one JSON object per span; returns count.
+
+        Lines are ``sort_keys=True`` and carry no absolute timestamps;
+        the only run-varying bytes are the wall-clock measurement fields
+        (compare :meth:`canonical_bytes` for the run-invariant form).
+        """
+        text = self.write_bytes().decode("utf-8")
+        if isinstance(sink, (str, os.PathLike)):
+            with open(sink, "w", encoding="utf-8") as handle:
+                handle.write(text)
+        else:
+            sink.write(text)
+        return len(self._records)
+
+    @classmethod
+    def read_jsonl(cls, source: str | IO[str] | Iterable[str]) -> "TraceArchive":
+        """Rebuild an archive from a JSONL shard (path, stream or lines)."""
+        if isinstance(source, (str, os.PathLike)):
+            with open(source, "r", encoding="utf-8") as handle:
+                lines = handle.readlines()
+        else:
+            lines = list(source)
+        archive = cls()
+        for line in lines:
+            line = line.strip()
+            if not line:
+                continue
+            payload = json.loads(line)
+            if payload.get("kind") == "trace-header":
+                archive.trace_id = str(payload.get("trace_id", ""))
+                archive.dropped_spans = int(payload.get("dropped_spans", 0))
+                continue
+            archive._records.append(SpanRecord.from_dict(payload))
+        return archive
+
+    def canonical_bytes(self) -> bytes:
+        """The structure-only byte projection of this archive.
+
+        Strips the wall-clock measurement fields (``t_start_us`` /
+        ``wall_us``); everything left — ids, parents, labels, sim times,
+        context tags, drop counts — is a pure function of the spec set,
+        so two runs of the same sweep agree byte-for-byte regardless of
+        ``--jobs``.
+        """
+        lines = [json.dumps(self._header(), sort_keys=True)]
+        lines.extend(
+            json.dumps(r.canonical_dict(), sort_keys=True) for r in self._records
+        )
+        return ("\n".join(lines) + "\n").encode("utf-8")
+
+
+def is_trace_file(path: str) -> bool:
+    """Whether ``path`` starts with a trace-header line (cheap sniff)."""
+    try:
+        with open(path, "r", encoding="utf-8") as handle:
+            first = handle.readline().strip()
+    except OSError:
+        return False
+    if not first.startswith("{"):
+        return False
+    try:
+        payload = json.loads(first)
+    except json.JSONDecodeError:
+        return False
+    return payload.get("kind") == "trace-header"

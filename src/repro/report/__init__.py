@@ -12,14 +12,37 @@ from repro.report.csvout import write_csv
 from repro.report.dashboard import collect_payload, render_dashboard, write_dashboard
 from repro.report.metrics import metrics_summary
 
+# Flamegraph names resolve lazily (PEP 562): every experiment module
+# triggers this package's import, and the trace pipeline must stay
+# un-imported unless a run opts in (same contract as obs.audit/alerts).
+_FLAMEGRAPH_NAMES = (
+    "critical_path",
+    "render_critical_path",
+    "render_flamegraph_html",
+    "write_flamegraph",
+)
+
+
+def __getattr__(name: str):
+    if name in _FLAMEGRAPH_NAMES:
+        from repro.report import flamegraph
+
+        return getattr(flamegraph, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+
+
 __all__ = [
     "TextTable",
     "ascii_cdf",
     "ascii_plot",
     "collect_payload",
+    "critical_path",
     "metrics_summary",
+    "render_critical_path",
     "render_dashboard",
+    "render_flamegraph_html",
     "sparkline",
     "write_dashboard",
     "write_csv",
+    "write_flamegraph",
 ]

@@ -54,10 +54,15 @@ _CSS = """
 }
 .hm-0{fill:#cde2fb}.hm-1{fill:#9ec5f4}.hm-2{fill:#6da7ec}.hm-3{fill:#3987e5}
 .hm-4{fill:#256abf}.hm-5{fill:#1c5cab}.hm-6{fill:#104281}.hm-7{fill:#0d366b}
+.fd-0{fill:#cde2fb}.fd-1{fill:#9ec5f4}.fd-2{fill:#6da7ec}.fd-3{fill:#3987e5}
+.fd-4{fill:#256abf}.fd-5{fill:#1c5cab}.fd-6{fill:#104281}.fd-7{fill:#0d366b}
 @media (prefers-color-scheme: dark) {
   .hm-0{fill:#0d366b}.hm-1{fill:#104281}.hm-2{fill:#1c5cab}.hm-3{fill:#256abf}
   .hm-4{fill:#3987e5}.hm-5{fill:#6da7ec}.hm-6{fill:#9ec5f4}.hm-7{fill:#cde2fb}
+  .fd-0{fill:#0d366b}.fd-1{fill:#104281}.fd-2{fill:#1c5cab}.fd-3{fill:#256abf}
+  .fd-4{fill:#3987e5}.fd-5{fill:#6da7ec}.fd-6{fill:#9ec5f4}.fd-7{fill:#cde2fb}
 }
+svg .frame-label { fill: #ffffff; font-weight: 600; pointer-events: none; }
 * { box-sizing: border-box; }
 body { margin: 0; padding: 24px; background: var(--surface); color: var(--ink);
        font: 14px/1.45 system-ui, -apple-system, "Segoe UI", sans-serif; }
@@ -126,6 +131,10 @@ def collect_payload(experiment: str) -> dict[str, Any]:
         payload["timeseries"] = obs.STATE.timeseries.to_dict()
     if obs.STATE.alerts is not None:
         payload["alerts"] = obs.STATE.alerts.to_dict()
+    payload["spans_dropped"] = obs.STATE.tracer.dropped_spans
+    if obs.STATE.tracer.exporter is not None:
+        payload["trace"] = obs.STATE.tracer.exporter.to_dict()
+        payload["spans_dropped"] += obs.STATE.tracer.exporter.dropped_spans
     return payload
 
 
@@ -513,6 +522,55 @@ def _profile_section(payload: Mapping[str, Any]) -> str:
     )
 
 
+def _trace_section(payload: Mapping[str, Any]) -> str:
+    """Flamegraph + critical-path panel from an exported trace shard.
+
+    Present when the run streamed spans (``--trace-out``); the payload's
+    ``"trace"`` key is a :class:`~repro.obs.traceexport.TraceArchive`
+    snapshot.  The full standalone view (timeline lanes included) comes
+    from ``repro-sim flamegraph``; the dashboard embeds the flamegraph
+    and the straggler/critical-path summary.
+    """
+    trace = payload.get("trace")
+    if not isinstance(trace, Mapping) or not trace.get("records"):
+        return ""
+    from repro.obs.traceexport import TraceArchive
+    from repro.report.flamegraph import critical_path, flamegraph_svg
+
+    archive = TraceArchive.from_dict(trace)
+    result = critical_path(archive, top_k=5)
+    # Exclusive time sums across shards; use the summed shard wall as
+    # the share denominator so multi-shard payloads stay under 100%.
+    aggregate_us = sum(wall for _shard, wall in result.shard_walls)
+    rows = "".join(
+        f"<tr><td>{_esc(label)}</td>"
+        f'<td class="num">{int(count)}</td>'
+        f'<td class="num">{self_us / 1000.0:.3f}</td>'
+        f'<td class="num">'
+        f"{self_us / aggregate_us * 100.0 if aggregate_us else 0.0:.1f}%</td></tr>"
+        for label, self_us, count in result.top_spans
+    )
+    dropped = ""
+    total_dropped = int(payload.get("spans_dropped", 0)) + result.dropped_spans
+    if total_dropped:
+        dropped = (
+            f'<p class="note">{total_dropped} spans dropped by tracer/exporter '
+            "bounds (aggregates stay exact)</p>"
+        )
+    return (
+        "<h2>Trace flamegraph</h2>"
+        + flamegraph_svg(archive, width=680)
+        + f'<p class="note">sweep wall {result.total_us / 1e6:.3f}s &middot; '
+        f"straggler shard: <strong>{_esc(result.straggler or '(none)')}</strong> "
+        f"&middot; {result.span_count} spans</p>"
+        "<table><thead><tr><th>span (top by exclusive time)</th>"
+        '<th class="num">n</th><th class="num">self ms</th>'
+        '<th class="num">share</th></tr></thead>'
+        f"<tbody>{rows}</tbody></table>"
+        + dropped
+    )
+
+
 def _histogram_section(payload: Mapping[str, Any]) -> str:
     metrics = payload.get("metrics", {})
     rows = []
@@ -585,6 +643,7 @@ def render_dashboard(
             + _density_section(payload)
             + _occupancy_section(payload)
             + _timeseries_section(payload)
+            + _trace_section(payload)
             + _profile_section(payload)
             + _histogram_section(payload)
             + "</section>"

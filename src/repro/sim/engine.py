@@ -181,13 +181,17 @@ class SimulationEngine:
                 events_total.inc(label=label)
                 queue_depth.set(len(self._heap))
                 if collector is not None and t >= collector.next_due:
-                    collector.scrape(t, registry)
-                    alerts = _OBS.alerts
-                    if alerts is not None:
-                        # Scrape-time SLO evaluation: first-violation sim
-                        # times come from here (the end-of-run evaluation
-                        # alone could not date a transient breach).
-                        alerts.evaluate(registry, now=t)
+                    # Scrapes walk every registry series; under a span so
+                    # trace shards separate scrape cost from event cost.
+                    with _OBS.tracer.span("engine.scrape", sim_time=t):
+                        collector.scrape(t, registry)
+                        alerts = _OBS.alerts
+                        if alerts is not None:
+                            # Scrape-time SLO evaluation: first-violation
+                            # sim times come from here (the end-of-run
+                            # evaluation alone could not date a transient
+                            # breach).
+                            alerts.evaluate(registry, now=t)
             else:
                 event.callback(t)
             dispatched_here += 1

@@ -59,6 +59,16 @@ class ObsOptions:
 
     metrics: bool = False
     trace: bool = False
+    #: Stream completed spans to a per-process JSONL-able trace shard
+    #: (:mod:`repro.obs.traceexport`); the shard rides back in the
+    #: telemetry payload under ``"trace"``.
+    trace_export: bool = False
+    #: Sweep-level trace id tagged onto every exported span.  Derive it
+    #: with :func:`repro.obs.traceexport.trace_id_for` so all workers of
+    #: one sweep agree; empty = derived per spec.
+    trace_id: str = ""
+    #: Per-shard record bound of the span exporter; None = module default.
+    trace_max_spans: int | None = None
     #: Sim-time scrape cadence for the time-series collector; None = off.
     scrape_interval_days: float | None = None
     log_level: str | None = None
@@ -78,6 +88,7 @@ class ObsOptions:
         return bool(
             self.metrics
             or self.trace
+            or self.trace_export
             or self.scrape_interval_days
             or self.log_level
             or self.log_file
@@ -287,9 +298,32 @@ def execute_spec(spec: RunSpec) -> RunOutcome:
             from repro.obs.alerts import AlertEngine
 
             state.alerts = AlertEngine.from_pairs(opts.alert_rules)
+        if opts.trace_export:
+            # Imported lazily: un-traced runs never load the module.
+            from repro.obs.traceexport import (
+                DEFAULT_MAX_SPANS,
+                SpanExporter,
+                trace_id_for,
+            )
+
+            slug = spec.slug()
+            state.tracer.exporter = SpanExporter(
+                trace_id=opts.trace_id or trace_id_for((slug,)),
+                spec=slug,
+                shard=slug,
+                max_spans=opts.trace_max_spans or DEFAULT_MAX_SPANS,
+            )
     t0 = perf_counter()
     try:
-        _result, rendered, (headers, rows) = registry.run_cli(spec)
+        if opts.enabled:
+            # The worker root span: every span of this spec's shard —
+            # engine loops, placement decisions, renders — nests under
+            # one parentless ``worker.run``, so per-shard trees and the
+            # sweep critical path have a well-defined root.
+            with obs_mod.STATE.tracer.span("worker.run"):
+                _result, rendered, (headers, rows) = registry.run_cli(spec)
+        else:
+            _result, rendered, (headers, rows) = registry.run_cli(spec)
     except Exception as exc:
         return RunOutcome(
             spec=spec,

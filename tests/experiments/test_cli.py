@@ -345,3 +345,100 @@ class TestSweep:
         )
         assert code == 2
         assert "duplicate" in capsys.readouterr().err
+
+
+class TestTraceExport:
+    """--trace-out artifacts and the flamegraph subcommand."""
+
+    @pytest.fixture(autouse=True)
+    def _fresh_obs(self):
+        obs.reset()
+        yield
+        obs.reset()
+
+    def test_run_writes_trace_shard(self, tmp_path, capsys):
+        from repro.obs.traceexport import TraceArchive, is_trace_file
+
+        trace = tmp_path / "trace.jsonl"
+        code = main(
+            ["run", "fig6", "--horizon-days", "20", "--trace-out", str(trace)]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "trace shard written" in out
+        assert is_trace_file(str(trace))
+        archive = TraceArchive.read_jsonl(str(trace))
+        assert len(archive) > 0
+        labels = {r.label for r in archive.records}
+        assert "spec.fig6" in labels and "engine.run" in labels
+        assert not obs.is_enabled()
+
+    def test_sweep_writes_per_spec_and_merged_shards(self, tmp_path, capsys):
+        from repro.obs.traceexport import TraceArchive
+
+        code = main(
+            [
+                "sweep", "fig6", "--seeds", "2", "--horizon-days", "10",
+                "--jobs", "2", "--trace-out", str(tmp_path / "trace.jsonl"),
+            ]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "critical path" in out
+        assert "straggler" in out
+        shards = sorted(p.name for p in tmp_path.glob("*.jsonl"))
+        assert "trace-merged.jsonl" in shards
+        assert len(shards) == 3  # two per-spec shards + the merged fold
+        merged = TraceArchive.read_jsonl(str(tmp_path / "trace-merged.jsonl"))
+        assert len(merged.shards()) == 2
+        # Every span of a sweep carries the shared sweep-level trace id.
+        assert len({r.trace_id for r in merged.records}) == 1
+
+    def test_flamegraph_subcommand_builds_html(self, tmp_path, capsys):
+        code = main(
+            [
+                "sweep", "fig6", "--seeds", "2", "--horizon-days", "10",
+                "--jobs", "2", "--trace-out", str(tmp_path / "trace.jsonl"),
+            ]
+        )
+        assert code == 0
+        capsys.readouterr()
+        assert main(["flamegraph", str(tmp_path)]) == 0
+        out = capsys.readouterr().out
+        assert "critical path" in out
+        assert "flamegraph written" in out
+        html = (tmp_path / "flamegraph.html").read_text()
+        assert html.startswith("<!DOCTYPE html>")
+        assert "worker.run" in html
+
+    def test_flamegraph_subcommand_accepts_single_shard(self, tmp_path, capsys):
+        trace = tmp_path / "trace.jsonl"
+        assert main(
+            ["run", "fig6", "--horizon-days", "10", "--trace-out", str(trace)]
+        ) == 0
+        capsys.readouterr()
+        assert main(["flamegraph", str(trace), "--out", str(tmp_path / "x.html")]) == 0
+        assert (tmp_path / "x.html").exists()
+
+    def test_flamegraph_subcommand_rejects_traceless_dir(self, tmp_path, capsys):
+        (tmp_path / "other.jsonl").write_text('{"kind": "audit-header"}\n')
+        assert main(["flamegraph", str(tmp_path)]) == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_metrics_export_strips_trace_but_keeps_drop_counter(
+        self, tmp_path, capsys
+    ):
+        metrics = tmp_path / "m.json"
+        trace = tmp_path / "t.jsonl"
+        assert main(
+            [
+                "run", "fig6", "--horizon-days", "10",
+                "--metrics-out", str(metrics), "--trace-out", str(trace),
+            ]
+        ) == 0
+        capsys.readouterr()
+        payload = json.loads(metrics.read_text())
+        # The span records live in the JSONL shard; the metrics JSON
+        # stays lean but still surfaces the loss counter.
+        assert "trace" not in payload
+        assert payload["spans_dropped"] == 0

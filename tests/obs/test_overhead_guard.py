@@ -26,6 +26,8 @@ print(json.dumps({
     "audit_imported": "repro.obs.audit" in sys.modules,
     "alerts_imported": "repro.obs.alerts" in sys.modules,
     "explain_imported": "repro.report.explain" in sys.modules,
+    "traceexport_imported": "repro.obs.traceexport" in sys.modules,
+    "flamegraph_imported": "repro.report.flamegraph" in sys.modules,
     "state_audit_is_none": obs.STATE.audit is None,
     "state_alerts_is_none": obs.STATE.alerts is None,
 }))
@@ -45,6 +47,8 @@ class TestOverheadGuard:
             "audit_imported": False,
             "alerts_imported": False,
             "explain_imported": False,
+            "traceexport_imported": False,
+            "flamegraph_imported": False,
             "state_audit_is_none": True,
             "state_alerts_is_none": True,
         }

@@ -1,6 +1,6 @@
 """Unit tests for span tracing."""
 
-from repro.obs.tracing import Tracer
+from repro.obs.tracing import SpanStats, Tracer, render_aggregates
 
 
 class TestSpans:
@@ -83,3 +83,78 @@ class TestSpans:
         tracer.reset()
         assert tracer.roots == []
         assert tracer.aggregates() == {}
+
+    def test_reset_clears_exporter_and_ids(self):
+        class _Sink:
+            def export(self, **kwargs):
+                pass
+
+        tracer = Tracer(exporter=_Sink())
+        with tracer.span("s"):
+            pass
+        tracer.reset()
+        assert tracer.exporter is None
+        with tracer.span("fresh"):
+            pass
+        # Span ids restart after a reset, like everything else.
+        assert tracer.roots[0].span_id == 1
+
+
+class TestDroppedSpans:
+    def test_render_surfaces_the_drop_counter(self):
+        tracer = Tracer(max_nodes=1)
+        for _ in range(4):
+            with tracer.span("s"):
+                pass
+        assert tracer.dropped_spans == 3
+        text = tracer.render()
+        assert "dropped_spans=3" in text
+        # Aggregates stay exact; only the rendered tree is bounded.
+        assert tracer.stats("s").count == 4
+
+    def test_render_is_silent_when_nothing_dropped(self):
+        tracer = Tracer()
+        with tracer.span("s"):
+            pass
+        assert "dropped_spans" not in tracer.render()
+
+    def test_dropped_alias_tracks_dropped_spans(self):
+        tracer = Tracer(max_nodes=1)
+        for _ in range(3):
+            with tracer.span("s"):
+                pass
+        assert tracer.dropped == tracer.dropped_spans == 2
+
+
+class TestZeroObservationGuards:
+    def test_empty_stats_merge_keeps_min_finite(self):
+        target = SpanStats()
+        target.observe(0.5)
+        target.merge(SpanStats())  # zero-observation partner
+        assert target.count == 1
+        assert target.min_s == target.max_s == 0.5
+
+    def test_merge_into_empty_adopts_bounds(self):
+        target = SpanStats()
+        other = SpanStats()
+        other.observe(0.25)
+        target.merge(other)
+        assert target.count == 1
+        assert target.min_s == target.max_s == 0.25
+
+    def test_render_aggregates_never_prints_inf(self):
+        # A zero-observation label can reach render via merged payloads.
+        payload = {
+            "ok": {"count": 2.0, "total_s": 1.0, "mean_s": 0.5,
+                   "min_s": 0.25, "max_s": 0.75},
+            "empty": {"count": 0.0, "total_s": 0.0, "mean_s": 0.0,
+                      "min_s": float("inf"), "max_s": 0.0},
+        }
+        text = render_aggregates(payload)
+        assert "inf" not in text
+        assert "ok" in text and "empty" in text
+
+    def test_render_aggregates_tolerates_missing_keys(self):
+        text = render_aggregates({"bare": {"count": 1.0}})
+        assert "inf" not in text
+        assert "bare" in text

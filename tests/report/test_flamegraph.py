@@ -1,0 +1,167 @@
+"""Unit tests for the flamegraph/timeline viewer and critical-path analysis."""
+
+from repro.obs.traceexport import SpanRecord, TraceArchive
+from repro.report.flamegraph import (
+    critical_path,
+    flamegraph_svg,
+    render_critical_path,
+    render_flamegraph_html,
+    timeline_svg,
+    write_flamegraph,
+)
+
+
+def _rec(seq, span_id, parent_id, label, wall_us, *, shard, t_start_us=0,
+         sim_time=None):
+    return SpanRecord(
+        seq=seq,
+        span_id=span_id,
+        parent_id=parent_id,
+        label=label,
+        sim_time=sim_time,
+        t_start_us=t_start_us,
+        wall_us=wall_us,
+        trace_id="t",
+        spec=shard,
+        shard=shard,
+    )
+
+
+def _synthetic_archive():
+    """Two shards with hand-computable wall math.
+
+    Shard A (100ms root):       Shard B (40ms root):
+      worker.run 100ms            worker.run 40ms (self 40ms)
+        fast 20ms (self 20)
+        slow 70ms
+          leaf 50ms (self 50)
+    Straggler: A.  Critical path: worker.run -> slow -> leaf.
+    Exclusive: leaf 50, worker.run 10+40, slow 20, fast 20.
+    """
+    a = [
+        _rec(0, 2, 1, "fast", 20_000, shard="A", t_start_us=0),
+        _rec(1, 4, 3, "leaf", 50_000, shard="A", t_start_us=30_000, sim_time=9.0),
+        _rec(2, 3, 1, "slow", 70_000, shard="A", t_start_us=20_000),
+        _rec(3, 1, None, "worker.run", 100_000, shard="A"),
+    ]
+    b = [_rec(0, 1, None, "worker.run", 40_000, shard="B")]
+    archive = TraceArchive(trace_id="t")
+    for r in a + b:
+        archive._records.append(r)
+    return archive
+
+
+class TestCriticalPath:
+    def test_straggler_and_total(self):
+        result = critical_path(_synthetic_archive())
+        assert result.straggler == "A"
+        assert result.total_us == 100_000
+        assert result.shard_walls == (("A", 100_000), ("B", 40_000))
+        assert result.span_count == 5
+
+    def test_path_descends_the_heaviest_children(self):
+        result = critical_path(_synthetic_archive())
+        assert [s.label for s in result.path] == ["worker.run", "slow", "leaf"]
+        assert [s.wall_us for s in result.path] == [100_000, 70_000, 50_000]
+        # Exclusive time = wall minus direct children's wall.
+        assert [s.self_us for s in result.path] == [10_000, 20_000, 50_000]
+
+    def test_top_spans_aggregate_exclusive_time_by_label(self):
+        result = critical_path(_synthetic_archive(), top_k=2)
+        # Ties (50ms each) break alphabetically; worker.run's exclusive
+        # time sums across shards: 10ms (A) + 40ms (B).
+        assert result.top_spans == (
+            ("leaf", 50_000, 1),
+            ("worker.run", 50_000, 2),
+        )
+
+    def test_empty_archive(self):
+        result = critical_path(TraceArchive())
+        assert result.total_us == 0
+        assert result.straggler == ""
+        assert result.path == ()
+        assert "0 shards" in render_critical_path(result)
+
+    def test_render_mentions_path_and_shares(self):
+        text = render_critical_path(critical_path(_synthetic_archive()))
+        assert "straggler: A" in text
+        assert "100.000ms" in text
+        assert "slow: 70.000ms (70.0% of sweep" in text
+        # Top-span shares are over aggregate work (140ms), never >100%.
+        assert "worker.run  self=50.000ms (35.7%) n=2" in text
+
+    def test_dropped_spans_noted(self):
+        archive = _synthetic_archive()
+        archive.dropped_spans = 7
+        text = render_critical_path(critical_path(archive))
+        assert "7 spans dropped" in text
+
+
+class TestSvg:
+    def test_flamegraph_nests_frames(self):
+        svg = flamegraph_svg(_synthetic_archive())
+        assert svg.startswith("<svg")
+        for label in ("worker.run", "slow", "leaf", "fast"):
+            assert label in svg
+        assert 'class="fd-' in svg
+
+    def test_timeline_has_one_lane_per_shard(self):
+        svg = timeline_svg(_synthetic_archive())
+        assert svg.count('class="lane-label"') == 2
+        assert ">A</text>" in svg and ">B</text>" in svg
+
+    def test_empty_archive_renders_placeholder(self):
+        assert "no spans" in flamegraph_svg(TraceArchive())
+        assert "no spans" in timeline_svg(TraceArchive())
+
+
+class TestHtml:
+    def test_page_is_self_contained(self):
+        html = render_flamegraph_html(_synthetic_archive(), title="my trace")
+        assert html.startswith("<!DOCTYPE html>")
+        assert "my trace" in html
+        assert "<script" not in html
+        assert "prefers-color-scheme" in html
+        # Tiles: sweep wall, straggler, span count.
+        assert "straggler" in html and "A" in html
+
+    def test_write_flamegraph(self, tmp_path):
+        target = tmp_path / "sub" / "fg.html"
+        out = write_flamegraph(str(target), _synthetic_archive())
+        assert out == str(target)
+        assert target.read_text().startswith("<!DOCTYPE html>")
+
+
+class TestDashboardPanel:
+    def test_panel_present_when_payload_has_trace(self):
+        from repro.report.dashboard import render_dashboard
+
+        payload = {
+            "experiment": "fig6",
+            "metrics": {},
+            "trace": _synthetic_archive().to_dict(),
+            "spans_dropped": 0,
+        }
+        html = render_dashboard([payload])
+        assert "Trace flamegraph" in html
+        assert "worker.run" in html
+
+    def test_panel_absent_without_trace(self):
+        from repro.report.dashboard import render_dashboard
+
+        html = render_dashboard([{"experiment": "fig6", "metrics": {}}])
+        assert "Trace flamegraph" not in html
+
+    def test_panel_notes_dropped_spans(self):
+        from repro.report.dashboard import render_dashboard
+
+        archive = _synthetic_archive()
+        archive.dropped_spans = 2
+        payload = {
+            "experiment": "fig6",
+            "metrics": {},
+            "trace": archive.to_dict(),
+            "spans_dropped": 3,
+        }
+        html = render_dashboard([payload])
+        assert "5 spans dropped" in html
