@@ -17,12 +17,14 @@ Perf-regression harness (see ``make bench-baseline`` / ``make bench-check``)::
         [--bench-tolerance 0.5]
 
 ``--bench-json DIR`` records one ``BENCH_<module>.json`` per test module
-with each test's wall-clock seconds and the sha256 of every artifact it
-saved.  ``--bench-check DIR`` replays the suite against those committed
-baselines and **fails a test** when its wall time exceeds
+with each test's wall-clock seconds, its peak RSS, and the sha256 of
+every artifact it saved.  ``--bench-check DIR`` replays the suite against
+those committed baselines and **fails a test** when its wall time exceeds
 ``baseline * (1 + tolerance)`` (plus a small absolute grace for
 sub-100ms tests) or when an artifact checksum drifts — catching both
-performance regressions and silent output changes in one gate.
+performance regressions and silent output changes in one gate.  Peak RSS
+is recorded for trend inspection but never gated: it is a process-wide
+high-water mark, so a test's reading depends on what ran before it.
 """
 
 from __future__ import annotations
@@ -33,6 +35,11 @@ import time
 from pathlib import Path
 
 import pytest
+
+try:
+    import resource
+except ImportError:  # pragma: no cover - non-Unix platforms
+    resource = None
 
 #: Where rendered figures and CSV series are written.
 OUT_DIR = Path(__file__).parent / "out"
@@ -65,6 +72,13 @@ def pytest_addoption(parser):
         help="allowed relative wall-time slowdown before --bench-check fails "
         "(default: 0.5 = +50%%)",
     )
+
+
+def _peak_rss_kib() -> int | None:
+    """Process-wide peak resident set size in KiB (None off-Unix)."""
+    if resource is None:
+        return None
+    return int(resource.getrusage(resource.RUSAGE_SELF).ru_maxrss)
 
 
 def _module_key(nodeid: str) -> str:
@@ -104,10 +118,17 @@ def pytest_configure(config):
 
 
 def pytest_sessionfinish(session):
-    directory = session.config.getoption("--bench-json")
+    config = session.config
+    tr = config.pluginmanager.get_plugin("terminalreporter")
+    if tr is not None and (
+        config.getoption("--bench-json") or config.getoption("--bench-check")
+    ):
+        peak_rss = _peak_rss_kib()
+        if peak_rss is not None:
+            tr.write_line(f"bench session peak RSS: {peak_rss / 1024:.1f} MiB")
+    directory = config.getoption("--bench-json")
     if directory:
-        written = session.config._bench_recorder.flush(directory)
-        tr = session.config.pluginmanager.get_plugin("terminalreporter")
+        written = config._bench_recorder.flush(directory)
         if tr is not None:
             tr.write_line(
                 f"bench baselines: {len(written)} file(s) written to {directory}"
@@ -175,12 +196,16 @@ def _bench_guard(request):
     t0 = time.perf_counter()
     yield
     seconds = time.perf_counter() - t0
+    peak_rss = _peak_rss_kib()
     nodeid = request.node.nodeid
     if recording:
-        config._bench_recorder.records[nodeid] = {
+        record = {
             "seconds": round(seconds, 6),
             "artifacts": dict(sorted(artifacts.items())),
         }
+        if peak_rss is not None:
+            record["peak_rss_kib"] = peak_rss
+        config._bench_recorder.records[nodeid] = record
     if checking:
         _check_against_baseline(config, nodeid, seconds, artifacts)
 

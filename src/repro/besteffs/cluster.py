@@ -165,7 +165,7 @@ class BesteffsCluster:
                 )
             self._obs_scrape(now)
             return decision, None
-        result = node.accept(obj, now)
+        result = node.accept(obj, now, plan=decision.plan)
         if not result.admitted:
             # The probe said admissible but the commit failed — possible
             # only if the store mutated between probe and accept, which the
@@ -267,11 +267,15 @@ class BesteffsCluster:
         return weighted / self.capacity_bytes
 
     def stored_bytes_by_creator(self) -> dict[str, int]:
-        """Bytes currently resident per creator class (student vs university)."""
+        """Bytes currently resident per creator class (student vs university).
+
+        Integer sums, so per-node tallies (slab-served on the default
+        layout) fold associatively into exactly the flat-scan totals.
+        """
         out: dict[str, int] = {}
         for node in self.nodes.values():
-            for obj in node.store.iter_residents():
-                out[obj.creator] = out.get(obj.creator, 0) + obj.size
+            for creator, total in node.store.bytes_by_creator().items():
+                out[creator] = out.get(creator, 0) + total
         return out
 
     def stats(self, now: float) -> ClusterStats:

@@ -82,9 +82,16 @@ class BesteffsNode:
             plan=plan,
         )
 
-    def accept(self, obj: StoredObject, now: float) -> AdmissionResult:
-        """Store the object on this node (may preempt residents)."""
-        return self.store.offer(obj, now)
+    def accept(
+        self, obj: StoredObject, now: float, *, plan: AdmissionPlan | None = None
+    ) -> AdmissionResult:
+        """Store the object on this node (may preempt residents).
+
+        ``plan`` lets the caller commit a plan obtained from :meth:`probe`
+        at the same ``now`` without re-planning; the store is unchanged in
+        between, so the replanned result would be identical.
+        """
+        return self.store.offer(obj, now, plan=plan)
 
     def __repr__(self) -> str:
         return (

@@ -28,6 +28,11 @@ class Overlay:
             raise OverlayError("overlay must be connected for random walks to mix")
         self._graph = graph
         self._nodes: tuple[str, ...] = tuple(graph.nodes())
+        # Lazy compact adjacency for the walk hot path; an Overlay is
+        # immutable (joins/departures build new instances) so the cache
+        # never invalidates.
+        self._compact: tuple[dict[str, int], tuple[tuple[int, ...], ...]] | None = None
+        self._neighbor_cache: dict[str, tuple[str, ...]] = {}
 
     @classmethod
     def random_regular(
@@ -137,9 +142,37 @@ class Overlay:
 
     def neighbors(self, node_id: str) -> tuple[str, ...]:
         """Overlay neighbours of a node (raises on unknown ids)."""
+        cached = self._neighbor_cache.get(node_id)
+        if cached is not None:
+            return cached
         if node_id not in self._graph:
             raise OverlayError(f"unknown overlay node {node_id!r}")
-        return tuple(self._graph.neighbors(node_id))
+        result = tuple(self._graph.neighbors(node_id))
+        self._neighbor_cache[node_id] = result
+        return result
+
+    def compact_adjacency(
+        self,
+    ) -> tuple[dict[str, int], tuple[tuple[int, ...], ...]]:
+        """Integer-indexed adjacency for the walk hot path.
+
+        Returns ``(index_of, adjacency)`` where ``adjacency[i]`` lists
+        neighbour *indices* in exactly the order :meth:`neighbors` reports
+        them, so an index-space walk visits the same sequence of nodes (and
+        consumes the same RNG draws) as the string-space walk.  Index ``i``
+        corresponds to ``node_ids[i]``.
+        """
+        compact = self._compact
+        if compact is None:
+            index_of = {node: i for i, node in enumerate(self._nodes)}
+            graph = self._graph
+            adjacency = tuple(
+                tuple(index_of[m] for m in graph.neighbors(node))
+                for node in self._nodes
+            )
+            compact = (index_of, adjacency)
+            self._compact = compact
+        return compact
 
     def degree(self, node_id: str) -> int:
         if node_id not in self._graph:

@@ -20,7 +20,7 @@ ablation that weights it.
 from __future__ import annotations
 
 import random
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from time import perf_counter
 from typing import Mapping
 
@@ -67,6 +67,10 @@ class PlacementDecision:
     #: Probe score of the chosen unit (0.0 for a direct store).
     chosen_score: float
     reason: str  # "direct" | "lowest-preempted" | "all-full"
+    #: The winning probe's admission plan, reusable by the commit: the
+    #: store cannot mutate between probe and accept in the single-threaded
+    #: simulator, so re-planning on accept would reproduce it verbatim.
+    plan: object | None = field(default=None, compare=False, repr=False)
 
 
 def _probe_score(probe: ProbeResult, now: float, size_weighted: bool) -> float:
@@ -175,6 +179,7 @@ def _choose_unit(
 
     best_score = float("inf")
     best_node: BesteffsNode | None = None
+    best_plan = None
     probed_total = 0
     profiled = _OBS.enabled
 
@@ -200,6 +205,7 @@ def _choose_unit(
                         nodes_probed=probed_total,
                         chosen_score=0.0,
                         reason="direct",
+                        plan=probe.plan,
                     ),
                     node,
                 )
@@ -207,6 +213,7 @@ def _choose_unit(
             if score < best_score:
                 best_score = score
                 best_node = node
+                best_plan = probe.plan
         if profiled:
             _OBS.profiler.observe("placement.round", perf_counter() - round_t0)
 
@@ -230,6 +237,7 @@ def _choose_unit(
             nodes_probed=probed_total,
             chosen_score=best_score,
             reason="lowest-preempted",
+            plan=best_plan,
         ),
         best_node,
     )

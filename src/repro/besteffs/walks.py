@@ -30,6 +30,26 @@ def random_walk(
         raise OverlayError(f"walk start {start!r} is not an overlay member")
     if length < 0:
         raise OverlayError(f"walk length must be >= 0, got {length}")
+    if type(rng) is random.Random:
+        # Hot path: walk in index space over the overlay's compact
+        # adjacency, drawing bits exactly as ``rng.choice`` would
+        # (``_randbelow_with_getrandbits``: k = n.bit_length() bits,
+        # rejecting r >= n), so the endpoint — and the RNG state left
+        # behind — are bit-identical to the string-space walk.
+        index_of, adjacency = overlay.compact_adjacency()
+        getrandbits = rng.getrandbits
+        current_ix = index_of[start]
+        for _ in range(length):
+            neighbors_ix = adjacency[current_ix]
+            n = len(neighbors_ix)
+            if not n:
+                break  # isolated single-node overlay
+            k = n.bit_length()
+            r = getrandbits(k)
+            while r >= n:
+                r = getrandbits(k)
+            current_ix = neighbors_ix[r]
+        return overlay.node_ids[current_ix]
     current = start
     for _ in range(length):
         neighbors = overlay.neighbors(current)

@@ -87,26 +87,36 @@ def plan_preemptive_admission(
 
     needed = obj.size - free
     index = getattr(store, "importance_index", None) if order is importance_order else None
-    if index is not None:
-        # Sort only the candidate tail the index proves sufficient; the
-        # final sort uses the exact paper key, so the greedy prefix below
-        # is identical to the full-sort prefix (see docs/performance.md).
-        ordered = importance_order(index.victim_candidates(now, needed), now)
+    merged = index.greedy_victims(now, needed) if index is not None else None
+    if merged is not None:
+        # Lazy k-way merge over the expired stream, statically ordered
+        # annotation groups and integer-grid superfamilies: only merge heads
+        # have their keys evaluated, and the resulting prefix (and its max
+        # importance) is bit-identical to the full paper-order sort (see
+        # repro.core.victims for the argument).
+        victims, highest, freed = merged
+        if freed < needed:
+            # Cannot happen when obj.size <= capacity, but guard against
+            # stores whose accounting was corrupted externally.
+            return AdmissionPlan(admit=False, reason="insufficient-space")
     else:
-        ordered = order(store.iter_residents(), now)
-    victims: list[StoredObject] = []
-    freed = 0
-    for resident in ordered:
-        if freed >= needed:
-            break
-        victims.append(resident)
-        freed += resident.size
-    if freed < needed:
-        # Cannot happen when obj.size <= capacity, but guard against
-        # stores whose accounting was corrupted externally.
-        return AdmissionPlan(admit=False, reason="insufficient-space")
-
-    highest = max(victim.importance_at(now) for victim in victims)
+        # Either the store has no index, or the merge declined (superfamily
+        # exactness not guaranteed at this now): sort candidates instead.
+        if index is not None:
+            candidates: Iterable[StoredObject] = index.victim_candidates(now, needed)
+        else:
+            candidates = store.iter_residents()
+        ordered = order(candidates, now)
+        victims = []
+        freed = 0
+        for resident in ordered:
+            if freed >= needed:
+                break
+            victims.append(resident)
+            freed += resident.size
+        if freed < needed:
+            return AdmissionPlan(admit=False, reason="insufficient-space")
+        highest = max(victim.importance_at(now) for victim in victims)
     incoming = obj.importance_at(now)
     blocked = highest >= incoming if strict else highest > incoming
     if highest > 0.0 and blocked:

@@ -51,10 +51,12 @@ from __future__ import annotations
 
 import heapq
 import math
+from bisect import bisect_left, insort
 from itertools import count
 from typing import Iterable
 
 from repro.core.obj import ObjectId, StoredObject
+from repro.core.victims import GroupedResidents
 from repro.errors import ReproError
 
 __all__ = [
@@ -209,12 +211,19 @@ class ImportanceIndex:
         self._waning: dict[ObjectId, StoredObject] = {}
         self._dynamic: dict[ObjectId, StoredObject] = {}  # non-linear wanes
         self._expired: dict[ObjectId, StoredObject] = {}
+        #: Expired residents sorted by (t_arrival, object_id) — the exact
+        #: victim order among expired objects (all share the key
+        #: ``(0.0, 0.0)``), fed to the grouped merge as one ready stream.
+        self._expired_sorted: list[tuple[float, ObjectId, StoredObject]] = []
         self._expired_bytes = 0
         self._waning_bytes = 0
         # Pending breakpoints: (scheduled time, admission seq, id).  Entries
         # are invalidated lazily — a popped entry whose seq no longer
         # matches the live object is skipped.
         self._heap: list[tuple[float, int, ObjectId]] = []
+        #: Residents grouped by identical annotation; answers the greedy
+        #: victim-prefix query lazily (see :mod:`repro.core.victims`).
+        self.groups = GroupedResidents()
         #: Phase moves processed so far (monotonic; for tests/diagnostics).
         self.transitions = 0
 
@@ -284,6 +293,7 @@ class ImportanceIndex:
         self.advance(now)
         self._obj[oid] = obj
         self._seq_of[oid] = next(self._seq)
+        self.groups.add(obj)
         self._place(oid, obj, self._classify(obj, now), now)
 
     def discard(self, object_id: ObjectId) -> None:
@@ -291,6 +301,7 @@ class ImportanceIndex:
         obj = self._obj.pop(object_id, None)
         if obj is None:
             return
+        self.groups.discard(object_id)
         self._remove_from_phase(object_id, obj)
         del self._seq_of[object_id]
 
@@ -326,6 +337,12 @@ class ImportanceIndex:
         else:
             self._expired[oid] = obj
             self._expired_bytes += obj.size
+            entry = (obj.t_arrival, oid, obj)
+            stream = self._expired_sorted
+            if not stream or (stream[-1][0], stream[-1][1]) < (entry[0], entry[1]):
+                stream.append(entry)
+            else:
+                insort(stream, entry)
 
     def _remove_from_phase(self, oid: ObjectId, obj: StoredObject) -> str:
         phase = self._phase.pop(oid)
@@ -342,6 +359,11 @@ class ImportanceIndex:
         else:
             del self._expired[oid]
             self._expired_bytes -= obj.size
+            stream = self._expired_sorted
+            i = bisect_left(stream, (obj.t_arrival, oid))
+            if i >= len(stream) or stream[i][1] != oid:
+                raise ReproError(f"{oid!r} missing from the expired stream")
+            del stream[i]
         return phase
 
     def _arm(self, oid: ObjectId, t: float, now: float) -> None:
@@ -395,10 +417,14 @@ class ImportanceIndex:
         self._waning.clear()
         self._dynamic.clear()
         self._expired.clear()
+        self._expired_sorted = []
         self._expired_bytes = 0
         self._waning_bytes = 0
         self._heap = []
         self._now = now
+        # Time regressed: previously-skipped "expired prefixes" inside the
+        # victim groups may be live again at the earlier instant.
+        self.groups.reset_cursors()
         for oid, obj in objs.items():
             self._place(oid, obj, self._classify(obj, now), now)
 
@@ -438,6 +464,26 @@ class ImportanceIndex:
                 if freed >= needed:
                     break
         return out
+
+    def greedy_victims(
+        self, now: float, needed: int
+    ) -> tuple[list[StoredObject], float, int] | None:
+        """The exact greedy victim prefix for ``needed`` bytes, lazily.
+
+        Advances the phase machinery to ``now`` (so the expired stream is
+        current), then delegates to :meth:`GroupedResidents.greedy_victims`:
+        a k-way merge over the expired stream, statically ordered annotation
+        groups and integer-grid superfamilies that evaluates importance only
+        for merge heads, returning ``(victims, highest, freed)`` with the
+        victims in exact paper order.  Returns None when superfamily
+        exactness cannot be guaranteed at this ``now`` (non-integer time or
+        time before a family member's arrival) — callers fall back to the
+        candidates-plus-sort path.
+        """
+        self.advance(now)
+        return self.groups.greedy_victims(
+            now, needed, phases=self._phase, expired=self._expired_sorted
+        )
 
     def expired_objects(self, now: float) -> list[StoredObject]:
         """Expired residents in admission order (matches a naive scan)."""
@@ -492,6 +538,13 @@ class ImportanceIndex:
                 raise ReproError(f"bucket {p} byte total is stale")
         if self._expired_bytes != sum(o.size for o in self._expired.values()):
             raise ReproError("expired byte total is stale")
+        stream = self._expired_sorted
+        if len(stream) != len(self._expired) or any(
+            stream[i][:2] >= stream[i + 1][:2] for i in range(len(stream) - 1)
+        ):
+            raise ReproError("expired stream is out of sync with the expired set")
+        if any(oid not in self._expired for _, oid, _obj in stream):
+            raise ReproError("expired stream holds a non-expired object")
         if self._waning_bytes != sum(o.size for o in self._waning.values()):
             raise ReproError("waning byte total is stale")
         return True

@@ -1,0 +1,217 @@
+"""Slab-backed resident state: flat parallel arrays behind the store API.
+
+At mega-scale (tens of thousands of storage units, millions of resident
+objects) the per-resident Python overhead of dict-of-:class:`StoredObject`
+bookkeeping dominates aggregate probes: every per-creator byte tally and
+every expiry sweep walks boxed floats and attribute lookups.  The
+:class:`ResidentSlab` keeps the *scalar* per-resident state — arrival
+time, relative expiry, initial importance, size — in ``array`` columns
+indexed by a stable slot id, with an explicit free list so slots recycle
+without compaction.
+
+The slab is a **secondary representation**: the store's insertion-ordered
+dict of residents remains the source of truth (iteration order, object
+identity, policy planning), and differential tests validate the slab
+against it after every mutation (:meth:`validate`).  What the slab serves:
+
+* :meth:`bytes_by_creator` — O(#creators) from incrementally maintained
+  per-creator byte totals (the per-epoch summary of the sharded mega
+  simulation calls this on every unit of every shard);
+* :meth:`expired_object_ids` — an expiry sweep that scans two float
+  columns instead of constructing method-call chains per resident, while
+  returning ids in exactly the admission order the naive dict scan
+  yields (slots are recycled, so a per-slot admission sequence number
+  restores the order).
+
+Column comparisons replicate the naive predicates bit for bit: expiry is
+``now - t_arrival >= t_expire`` — the same float subtraction
+``StoredObject.is_expired_at`` performs — with the age clamp handled by
+the ``t_expire <= 0`` disjunct.
+"""
+
+from __future__ import annotations
+
+from array import array
+
+from repro.core.obj import ObjectId, StoredObject
+from repro.errors import ReproError
+
+__all__ = ["ResidentSlab"]
+
+
+class ResidentSlab:
+    """Parallel-array resident columns with slot recycling."""
+
+    __slots__ = (
+        "_t_arrival",
+        "_t_expire",
+        "_importance",
+        "_size",
+        "_seq",
+        "_oids",
+        "_slot_of",
+        "_free",
+        "_next_seq",
+        "_creator_code",
+        "_creator_codes",
+        "_creator_names",
+        "_creator_bytes",
+        "_used_bytes",
+    )
+
+    def __init__(self) -> None:
+        # One entry per slot; dead slots keep stale values and sit on the
+        # free list until recycled.
+        self._t_arrival = array("d")
+        self._t_expire = array("d")  # relative to arrival (minutes; inf ok)
+        self._importance = array("d")  # initial importance p
+        self._size = array("q")
+        self._seq = array("q")  # admission order, never recycled
+        self._oids: list[ObjectId | None] = []
+        self._creator_code = array("l")
+        self._slot_of: dict[ObjectId, int] = {}
+        self._free: list[int] = []
+        self._next_seq = 0
+        # Creator labels interned to small ints, with running byte totals.
+        self._creator_codes: dict[str, int] = {}
+        self._creator_names: list[str] = []
+        self._creator_bytes: list[int] = []
+        self._used_bytes = 0
+
+    def __len__(self) -> int:
+        return len(self._slot_of)
+
+    def __contains__(self, object_id: ObjectId) -> bool:
+        return object_id in self._slot_of
+
+    @property
+    def slots(self) -> int:
+        """Allocated slots including free ones (capacity of the arrays)."""
+        return len(self._oids)
+
+    @property
+    def used_bytes(self) -> int:
+        return self._used_bytes
+
+    # -- mutation ----------------------------------------------------------
+
+    def add(self, obj: StoredObject) -> int:
+        """Claim a slot for a freshly admitted resident; returns the slot."""
+        oid = obj.object_id
+        if oid in self._slot_of:
+            raise ReproError(f"{oid!r} already occupies a slab slot")
+        creator = obj.creator
+        code = self._creator_codes.get(creator)
+        if code is None:
+            code = len(self._creator_names)
+            self._creator_codes[creator] = code
+            self._creator_names.append(creator)
+            self._creator_bytes.append(0)
+        seq = self._next_seq
+        self._next_seq = seq + 1
+        if self._free:
+            slot = self._free.pop()
+            self._t_arrival[slot] = obj.t_arrival
+            self._t_expire[slot] = obj.lifetime.t_expire
+            self._importance[slot] = obj.lifetime.initial_importance
+            self._size[slot] = obj.size
+            self._seq[slot] = seq
+            self._creator_code[slot] = code
+            self._oids[slot] = oid
+        else:
+            slot = len(self._oids)
+            self._t_arrival.append(obj.t_arrival)
+            self._t_expire.append(obj.lifetime.t_expire)
+            self._importance.append(obj.lifetime.initial_importance)
+            self._size.append(obj.size)
+            self._seq.append(seq)
+            self._creator_code.append(code)
+            self._oids.append(oid)
+        self._slot_of[oid] = slot
+        self._creator_bytes[code] += obj.size
+        self._used_bytes += obj.size
+        return slot
+
+    def discard(self, object_id: ObjectId) -> None:
+        """Release a resident's slot (idempotent)."""
+        slot = self._slot_of.pop(object_id, None)
+        if slot is None:
+            return
+        size = self._size[slot]
+        self._creator_bytes[self._creator_code[slot]] -= size
+        self._used_bytes -= size
+        self._oids[slot] = None
+        self._free.append(slot)
+
+    # -- aggregate probes --------------------------------------------------
+
+    def bytes_by_creator(self) -> dict[str, int]:
+        """Resident bytes per creator class, skipping empty classes."""
+        return {
+            name: total
+            for name, total in zip(self._creator_names, self._creator_bytes)
+            if total
+        }
+
+    def expired_object_ids(self, now: float) -> list[ObjectId]:
+        """Ids of expired residents, in admission order.
+
+        Uses the same predicate as ``StoredObject.is_expired_at``:
+        ``max(0, now - t_arrival) >= t_expire``, decomposed so the column
+        scan performs the identical subtraction (the clamp only matters
+        when ``t_expire <= 0``, where expiry holds at any age).
+        """
+        now = float(now)
+        hits: list[tuple[int, ObjectId]] = []
+        oids = self._oids
+        seqs = self._seq
+        expires = self._t_expire
+        for slot, t_arrival in enumerate(self._t_arrival):
+            oid = oids[slot]
+            if oid is None:
+                continue
+            t_expire = expires[slot]
+            if now - t_arrival >= t_expire or t_expire <= 0.0:
+                hits.append((seqs[slot], oid))
+        hits.sort()
+        return [oid for _seq, oid in hits]
+
+    # -- diagnostics -------------------------------------------------------
+
+    def validate(self, residents: dict[ObjectId, StoredObject]) -> bool:
+        """Check every column against the dict-of-objects oracle."""
+        if len(self._slot_of) != len(residents):
+            raise ReproError(
+                f"slab holds {len(self._slot_of)} residents, oracle {len(residents)}"
+            )
+        live = 0
+        total = 0
+        per_creator: dict[str, int] = {}
+        for slot, oid in enumerate(self._oids):
+            if oid is None:
+                continue
+            live += 1
+            obj = residents.get(oid)
+            if obj is None:
+                raise ReproError(f"slab slot {slot} holds unknown resident {oid!r}")
+            if self._slot_of.get(oid) != slot:
+                raise ReproError(f"slot map disagrees for {oid!r}")
+            if (
+                self._t_arrival[slot] != obj.t_arrival
+                or self._t_expire[slot] != obj.lifetime.t_expire
+                or self._importance[slot] != obj.lifetime.initial_importance
+                or self._size[slot] != obj.size
+                or self._creator_names[self._creator_code[slot]] != obj.creator
+            ):
+                raise ReproError(f"slab columns are stale for {oid!r}")
+            total += obj.size
+            per_creator[obj.creator] = per_creator.get(obj.creator, 0) + obj.size
+        if live != len(residents):
+            raise ReproError("slab live-slot count disagrees with the oracle")
+        if live + len(self._free) != len(self._oids):
+            raise ReproError("slab free list does not cover the dead slots")
+        if total != self._used_bytes:
+            raise ReproError("slab byte total is stale")
+        if per_creator != self.bytes_by_creator():
+            raise ReproError("slab per-creator byte totals are stale")
+        return True

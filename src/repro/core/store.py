@@ -18,6 +18,7 @@ from typing import Callable, Iterator
 from repro.core.index import ImportanceIndex
 from repro.core.obj import ObjectId, StoredObject
 from repro.core.policy import AdmissionPlan, EvictionPolicy
+from repro.core.slab import ResidentSlab
 from repro.errors import CapacityError, UnknownObjectError
 from repro.obs import COUNT_BUCKETS, STATE as _OBS
 
@@ -28,6 +29,7 @@ __all__ = [
     "StorageUnit",
     "StoreStats",
     "DEFAULT_INDEXED",
+    "DEFAULT_LAYOUT",
 ]
 
 #: Default for ``StorageUnit(indexed=...)`` when the caller passes None.
@@ -36,6 +38,13 @@ __all__ = [
 #: differential tests flip this module global to run the naive reference
 #: oracle without threading a parameter through every scenario builder.
 DEFAULT_INDEXED = True
+
+#: Default for ``StorageUnit(layout=...)`` when the caller passes None.
+#: ``"slab"`` mirrors the scalar per-resident state into flat array
+#: columns (:class:`~repro.core.slab.ResidentSlab`) that aggregate probes
+#: read instead of walking objects; ``"dict"`` is the object-only
+#: reference path the differential suite runs as the oracle.
+DEFAULT_LAYOUT = "slab"
 
 
 @dataclass(frozen=True)
@@ -147,6 +156,13 @@ class StorageUnit:
         results.  ``None`` (default) follows the module-level
         :data:`DEFAULT_INDEXED`; pass False to force the naive reference
         path (the differential-test oracle).
+    layout:
+        ``"slab"`` additionally mirrors scalar per-resident state into
+        flat array columns (:class:`~repro.core.slab.ResidentSlab`) so
+        aggregate probes (per-creator byte tallies, expiry sweeps) scan
+        arrays instead of objects; ``"dict"`` keeps only the object dict
+        (the differential oracle).  ``None`` (default) follows
+        :data:`DEFAULT_LAYOUT`.  Results are bit-identical either way.
     """
 
     def __init__(
@@ -157,6 +173,7 @@ class StorageUnit:
         name: str = "unit-0",
         keep_history: bool = True,
         indexed: bool | None = None,
+        layout: str | None = None,
     ) -> None:
         if not isinstance(capacity_bytes, int) or capacity_bytes <= 0:
             raise CapacityError(f"capacity must be a positive int, got {capacity_bytes!r}")
@@ -166,9 +183,18 @@ class StorageUnit:
         self.keep_history = keep_history
         if indexed is None:
             indexed = DEFAULT_INDEXED
+        if layout is None:
+            layout = DEFAULT_LAYOUT
+        if layout not in ("slab", "dict"):
+            raise CapacityError(f"layout must be 'slab' or 'dict', got {layout!r}")
+        self.layout = layout
         #: Phase-bucketed resident index, or None on the naive path.
         self.importance_index: ImportanceIndex | None = (
             ImportanceIndex() if indexed else None
+        )
+        #: Array-column mirror of the residents, or None on the dict path.
+        self.resident_slab: ResidentSlab | None = (
+            ResidentSlab() if layout == "slab" else None
         )
 
         self._residents: dict[ObjectId, StoredObject] = {}
@@ -231,6 +257,20 @@ class StorageUnit:
         self.get(object_id)  # raise on unknown ids
         return self._last_access[object_id]
 
+    def bytes_by_creator(self) -> dict[str, int]:
+        """Resident bytes per creator class.
+
+        Served from the slab's incrementally maintained totals when the
+        layout is ``"slab"`` (O(#creators)); the dict layout scans the
+        residents.  Both return identical totals (integer sums).
+        """
+        if self.resident_slab is not None:
+            return self.resident_slab.bytes_by_creator()
+        out: dict[str, int] = {}
+        for obj in self._residents.values():
+            out[obj.creator] = out.get(obj.creator, 0) + obj.size
+        return out
+
     def utilization(self) -> float:
         """Fraction of raw capacity occupied, in ``[0, 1]``."""
         return self._used_bytes / self.capacity_bytes
@@ -252,22 +292,29 @@ class StorageUnit:
 
     # -- mutation ----------------------------------------------------------
 
-    def offer(self, obj: StoredObject, now: float) -> AdmissionResult:
+    def offer(
+        self, obj: StoredObject, now: float, *, plan: AdmissionPlan | None = None
+    ) -> AdmissionResult:
         """Offer an object for storage at time ``now``.
 
         Applies the policy's admission plan atomically: either the object is
         stored (after evicting exactly the planned victims) or nothing
         changes and a rejection is recorded.  Victims are only ever removed
         on successful admission — rejected arrivals have no side effects.
+
+        ``plan`` reuses a plan from :meth:`peek_admission` at the same
+        ``now`` (the Besteffs probe→accept flow); the store must not have
+        mutated in between, which the single-threaded simulator guarantees.
         """
         if obj.object_id in self._residents:
             raise CapacityError(f"{obj.object_id!r} is already stored on {self.name}")
-        if _OBS.enabled:
-            t0 = perf_counter()
-            plan = self.policy.plan_admission(self, obj, now)
-            _OBS.profiler.observe("store.plan_admission", perf_counter() - t0)
-        else:
-            plan = self.policy.plan_admission(self, obj, now)
+        if plan is None:
+            if _OBS.enabled:
+                t0 = perf_counter()
+                plan = self.policy.plan_admission(self, obj, now)
+                _OBS.profiler.observe("store.plan_admission", perf_counter() - t0)
+            else:
+                plan = self.policy.plan_admission(self, obj, now)
         ledger = _OBS.audit if _OBS.enabled else None
         if not plan.admit:
             rejection = RejectionRecord(
@@ -327,6 +374,8 @@ class StorageUnit:
         self._last_access[obj.object_id] = now
         if self.importance_index is not None:
             self.importance_index.add(obj, now)
+        if self.resident_slab is not None:
+            self.resident_slab.add(obj)
         self.accepted_count += 1
         self.bytes_accepted += obj.size
         if _OBS.enabled:
@@ -383,6 +432,14 @@ class StorageUnit:
             # (and in admission order, matching the naive scan's output).
             expired = self.importance_index.expired_objects(now)
             scanned = len(expired)
+        elif self.resident_slab is not None:
+            # Column scan over (t_arrival, t_expire); same predicate and
+            # same admission order as the object scan below.
+            scanned = len(self._residents)
+            expired = [
+                self._residents[oid]
+                for oid in self.resident_slab.expired_object_ids(now)
+            ]
         else:
             scanned = len(self._residents)
             expired = [o for o in self._residents.values() if o.is_expired_at(now)]
@@ -413,6 +470,8 @@ class StorageUnit:
         self._used_bytes -= victim.size
         if self.importance_index is not None:
             self.importance_index.discard(victim.object_id)
+        if self.resident_slab is not None:
+            self.resident_slab.discard(victim.object_id)
         record = EvictionRecord(
             obj=victim,
             t_evicted=now,

@@ -189,6 +189,22 @@ def _sec53(spec: RunSpec) -> CliRun:
     )
 
 
+def _sec54_shard(spec: RunSpec) -> CliRun:
+    from repro.sim import shard as mod
+
+    run = mod.execute(spec)
+    rows = [digest.as_row(run.shard) for digest in run.digests]
+    return run, mod.render(run), [mod.DIGEST_HEADERS, rows]
+
+
+def _sec54_mega(spec: RunSpec) -> CliRun:
+    from repro.experiments import sec54_mega as mod
+    from repro.sim.shard import DIGEST_HEADERS
+
+    result = mod.execute(spec)
+    return result, mod.render(result), [DIGEST_HEADERS, list(result.shard_rows)]
+
+
 def _ext_mixed(spec: RunSpec) -> CliRun:
     from repro.experiments import ext_mixed_apps as mod
 
@@ -279,6 +295,8 @@ _ADAPTERS: dict[str, Callable[[RunSpec], CliRun]] = {
     "fig11": _fig11,
     "fig12": _fig12,
     "sec53": _sec53,
+    "sec54-shard": _sec54_shard,
+    "sec54-mega": _sec54_mega,
     "ext-mixed": _ext_mixed,
     "ext-churn": _ext_churn,
     "ext-refresh": _ext_refresh,

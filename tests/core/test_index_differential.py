@@ -134,6 +134,84 @@ def test_randomized_workload_is_bit_identical(seed):
     assert importance_density(naive, final) == importance_density(fast, final)
 
 
+def random_grid_lifetime(rng: random.Random):
+    """Annotations on the integer-minute grid (the workloads' habitat).
+
+    Mostly two-step/fixed shapes so the index's superfamily merge — the
+    lazy k-way heap over ``(p, t_wane)`` families — carries the victim
+    scan, with enough other shapes mixed in to keep solo groups and the
+    fallback populated.
+    """
+    p = rng.choice((0.05, 0.1, 0.25, 0.5, 0.5, 0.75, 0.9, 1.0))
+    persist = float(rng.randrange(0, 400))
+    wane = float(rng.randrange(0, 300))
+    kind = rng.randrange(10)
+    if kind == 0:
+        return ConstantImportance(p=p)
+    if kind == 1:
+        return DiracImportance()
+    if kind == 2:
+        return ExponentialWaneImportance(p=p, t_persist=persist, t_wane=wane or 1.0)
+    if kind == 3:
+        return ScaledImportance(
+            TwoStepImportance(p=p, t_persist=persist, t_wane=wane),
+            rng.choice((0.25, 0.5, 0.75)),
+        )
+    if kind in (4, 5):
+        return FixedLifetimeImportance(p=p, expire_after=persist)
+    return TwoStepImportance(p=p, t_persist=persist, t_wane=wane)
+
+
+@pytest.mark.parametrize("seed", [31337, 2468])
+def test_integer_grid_workload_is_bit_identical(seed):
+    """Whole-minute twin workload: the superfamily greedy path vs naive.
+
+    Arrivals and probes stay on the integer grid, exactly like the
+    lecture/university workloads, so the indexed store answers admission
+    plans from the grouped/superfamily merge rather than the sorted
+    fallback — and must still match the naive scan bit for bit.
+    """
+    rng = random.Random(seed)
+    naive = StorageUnit(CAPACITY, TemporalImportancePolicy(), name="naive", indexed=False)
+    fast = StorageUnit(CAPACITY, TemporalImportancePolicy(), name="fast", indexed=True)
+
+    now = 0.0
+    for step in range(1200):
+        now += float(rng.randrange(0, 30))
+        action = rng.random()
+        if action < 0.75:
+            obj = StoredObject(
+                size=rng.randint(100, 6000),
+                t_arrival=now,
+                lifetime=random_grid_lifetime(rng),
+                object_id=f"g-{step}",
+            )
+            plan_n = naive.peek_admission(obj, now)
+            plan_f = fast.peek_admission(obj, now)
+            assert_plans_equal(plan_n, plan_f, step)
+            res_n = naive.offer(obj, now)
+            res_f = fast.offer(obj, now)
+            assert res_n.admitted == res_f.admitted, f"step {step}"
+            assert_plans_equal(res_n.plan, res_f.plan, step)
+            assert_evictions_equal(res_n.evictions, res_f.evictions, step)
+        elif action < 0.85:
+            assert_evictions_equal(
+                naive.reclaim_expired(now), fast.reclaim_expired(now), step
+            )
+        elif action < 0.92 and len(naive):
+            victim = rng.choice(sorted(oid for oid in naive._residents))
+            assert_evictions_equal(
+                [naive.remove(victim, now)], [fast.remove(victim, now)], step
+            )
+        else:
+            assert importance_density(naive, now) == importance_density(fast, now)
+        assert naive.used_bytes == fast.used_bytes, f"step {step}"
+        if step % 300 == 0:
+            assert fast.importance_index.check(max(now, fast.importance_index._now))
+    # The grid workload must actually have exercised the superfamily path.
+    assert fast.importance_index.groups.family_count > 0
+
+
 @pytest.mark.parametrize("seed", [5, 99])
 def test_admission_threshold_matches_the_linear_scan(seed):
     """Binary search must return what the retired 101-step scan returned."""
