@@ -1,12 +1,12 @@
-.PHONY: install test unit test-parallel obs-smoke audit-smoke alerts-check trace-smoke bench bench-index bench-mega bench-baseline bench-check examples figures lint clean
+.PHONY: install test unit test-parallel obs-smoke audit-smoke alerts-check trace-smoke serve-smoke bench bench-index bench-mega bench-baseline bench-check examples figures lint clean
 
 install:
 	pip install -e '.[test]'
 
 # Default gate: lint, the tier-1 suite, and the instrumented smoke runs
 # (obs stack, audit/explain round-trip, SLO alert CI gate, trace export
-# + flamegraph round trip).
-test: lint unit obs-smoke audit-smoke alerts-check trace-smoke
+# + flamegraph round trip, serving front-end round trip).
+test: lint unit obs-smoke audit-smoke alerts-check trace-smoke serve-smoke
 
 # Mirrors the tier-1 verify command: works from a clean checkout with no
 # editable install (PYTHONPATH picks up src/).
@@ -57,6 +57,26 @@ trace-smoke:
 	@test -s .trace-smoke/flamegraph.html
 	@rm -rf .trace-smoke
 	@echo "trace smoke OK"
+
+# Serving round trip exactly as CI runs it: a short closed-loop loadgen
+# run with metrics + ledger export and the in-run SLO gate, the same
+# rules re-checked offline via `repro-sim alerts`, then an open-loop
+# `serve` run against a single unit (exit non-zero if any leg fails).
+serve-smoke:
+	@rm -rf .serve-smoke && mkdir -p .serve-smoke
+	PYTHONPATH=src$${PYTHONPATH:+:$$PYTHONPATH} python -m repro.cli loadgen \
+		--mode closed --clients 4 --nodes 4 --horizon-days 10 --scale 0.005 \
+		--metrics-out .serve-smoke/loadgen.json \
+		--ledger-out .serve-smoke/ledger.jsonl \
+		--alerts examples/serve_alerts.rules --check >/dev/null
+	PYTHONPATH=src$${PYTHONPATH:+:$$PYTHONPATH} python -m repro.cli alerts \
+		.serve-smoke --rules examples/serve_alerts.rules --check >/dev/null
+	PYTHONPATH=src$${PYTHONPATH:+:$$PYTHONPATH} python -m repro.cli serve \
+		--nodes 1 --horizon-days 10 --scale 0.005 --queue-size 32 \
+		--batch-max 8 >/dev/null
+	@test -s .serve-smoke/ledger.jsonl
+	@rm -rf .serve-smoke
+	@echo "serve smoke OK"
 
 bench:
 	PYTHONPATH=src$${PYTHONPATH:+:$$PYTHONPATH} pytest benchmarks/ --benchmark-only
@@ -110,5 +130,5 @@ lint:
 # Caches only — benchmarks/out holds committed reference output and must
 # survive a clean.
 clean:
-	rm -rf .pytest_cache .hypothesis .ruff_cache .alerts-check build dist src/*.egg-info
+	rm -rf .pytest_cache .hypothesis .ruff_cache .alerts-check .trace-smoke .serve-smoke build dist src/*.egg-info
 	find . -name __pycache__ -type d -exec rm -rf {} +

@@ -5,7 +5,9 @@
 implemented in a completely distributed fashion" — this example wires the
 three gates together: HMAC capabilities (locally verifiable, no directory
 service), fair-share budgets of byte-importance-minutes (so nobody wins by
-requesting infinite lifetimes), and the x-sample/m-try placement rule.
+requesting infinite lifetimes), and the x-sample/m-try placement rule,
+all spoken through the ``StoreRequest``/``StoreResponse`` protocol of
+``repro.serve`` (see docs/serving.md).
 
 Three principals contend for a small cluster:
 
@@ -18,14 +20,17 @@ Run with::
     python examples/fair_shared_storage.py
 """
 
-from repro.besteffs import (
+from repro.api import (
     BesteffsCluster,
     BesteffsGateway,
     CapabilityRealm,
     FairShareLedger,
-    PlacementConfig,
+    StoredObject,
+    StoreRequest,
+    TwoStepImportance,
 )
-from repro.core import ConstantImportance, StoredObject, TwoStepImportance
+from repro.besteffs import PlacementConfig
+from repro.core import ConstantImportance
 from repro.units import days, gib, mib
 
 
@@ -53,59 +58,59 @@ def main() -> None:
     for i in range(5):
         obj = StoredObject(size=mib(550), t_arrival=0.0, lifetime=lecture,
                            object_id=f"lecture-{i}", creator="registrar")
-        outcome = gateway.store(registrar, obj, now=0.0)
-        print(f"registrar  lecture-{i}: {outcome.detail}")
+        response = gateway.handle(StoreRequest(capability=registrar, obj=obj))
+        print(f"registrar  lecture-{i}: {response.detail}")
 
     # The student tries both a pegged and an over-privileged annotation.
-    ok = gateway.store(
-        student,
-        StoredObject(size=mib(250), t_arrival=0.0, lifetime=interpretation,
-                     object_id="alice-1", creator="student"),
-        now=0.0,
-    )
+    ok = gateway.handle(StoreRequest(
+        capability=student,
+        obj=StoredObject(size=mib(250), t_arrival=0.0, lifetime=interpretation,
+                         object_id="alice-1", creator="student"),
+    ))
     print(f"student    alice-1:  {ok.detail}")
-    cheat = gateway.store(
-        student,
-        StoredObject(size=mib(250), t_arrival=0.0, lifetime=lecture,
-                     object_id="alice-cheat", creator="student"),
-        now=0.0,
-    )
-    print(f"student    alice-cheat: refused by {cheat.refused_by} — {cheat.detail}")
+    cheat = gateway.handle(StoreRequest(
+        capability=student,
+        obj=StoredObject(size=mib(250), t_arrival=0.0, lifetime=lecture,
+                         object_id="alice-cheat", creator="student"),
+    ))
+    print(f"student    alice-cheat: {cheat.status.value} — {cheat.detail}")
 
     # The freeloader asks for persistence forever: the fairness gate
-    # refuses regardless of how much storage is free.
-    forever = gateway.store(
-        freeloader,
-        StoredObject(size=mib(100), t_arrival=0.0,
-                     lifetime=ConstantImportance(p=1.0),
-                     object_id="forever", creator="freeloader"),
-        now=0.0,
-    )
-    print(f"freeloader forever:  refused by {forever.refused_by} — {forever.detail}")
+    # refuses regardless of how much storage is free (and offers no
+    # retry-after — retrying an infinite-cost annotation never helps).
+    forever = gateway.handle(StoreRequest(
+        capability=freeloader,
+        obj=StoredObject(size=mib(100), t_arrival=0.0,
+                         lifetime=ConstantImportance(p=1.0),
+                         object_id="forever", creator="freeloader"),
+    ))
+    print(f"freeloader forever:  {forever.status.value} — {forever.detail} "
+          f"(retry_after={forever.retry_after})")
 
     # ...and then burns through its finite budget with huge annotations.
     stored = refused = 0
     t = 1.0
     while True:
-        outcome = gateway.store(
-            freeloader,
-            StoredObject(size=gib(1), t_arrival=t,
-                         lifetime=TwoStepImportance(
-                             p=1.0, t_persist=days(60), t_wane=days(30)),
-                         object_id=f"hog-{stored + refused}", creator="freeloader"),
-            now=t,
-        )
+        response = gateway.handle(StoreRequest(
+            capability=freeloader,
+            obj=StoredObject(size=gib(1), t_arrival=t,
+                             lifetime=TwoStepImportance(
+                                 p=1.0, t_persist=days(60), t_wane=days(30)),
+                             object_id=f"hog-{stored + refused}",
+                             creator="freeloader"),
+        ), now=t)
         t += 1.0
-        if outcome.stored:
+        if response.stored:
             stored += 1
         else:
             refused += 1
             print(f"freeloader hogging stopped after {stored} objects: "
-                  f"{outcome.refused_by} — {outcome.detail[:72]}...")
+                  f"{response.status.value} — {response.detail[:72]}... "
+                  f"(retry in {response.retry_after / 1440.0:.1f} days)")
             break
 
     print()
-    print(f"refusal counters: {gateway.refusals}")
+    print(f"refusal counters: {dict(gateway.refusals)}")
     print(f"cluster residents: {cluster.resident_count()} objects, "
           f"density {cluster.mean_density(t):.3f}")
     print("The freeloader could not monopolise the store: budgets bound the",

@@ -17,12 +17,24 @@ exposed:
 * **run-spec API** — :class:`RunSpec` and the parallel sweep executor
   (:mod:`repro.sim.parallel`), the single way to describe and execute a
   named experiment; ``run_experiment(RunSpec("fig6"))`` returns the same
-  result object the experiment module's ``execute`` does.
+  result object the experiment module's ``execute`` does;
+* **serving** — the :mod:`repro.serve` request/response protocol
+  (:class:`StoreRequest`/:class:`StoreResponse`), the synchronous
+  :func:`serve` helper over a gateway, and the
+  :class:`LoadGenSpec`/:func:`run_loadgen` load-generator pair (see
+  ``docs/serving.md``).
 """
 
 from __future__ import annotations
 
-from repro.besteffs import BesteffsCluster, BesteffsNode, ClusterStats
+from repro.besteffs import (
+    BesteffsCluster,
+    BesteffsGateway,
+    BesteffsNode,
+    CapabilityRealm,
+    ClusterStats,
+    FairShareLedger,
+)
 from repro.core import (
     Annotation,
     EvictionPolicy,
@@ -63,6 +75,17 @@ from repro.sim.parallel import (
     seed_for,
 )
 from repro.sim.runner import feed_arrivals
+from repro.serve import (
+    GatewayService,
+    LoadGenReport,
+    LoadGenSpec,
+    ServeConfig,
+    StoreRequest,
+    StoreResponse,
+    StoreStatus,
+    run_loadgen,
+    serve,
+)
 
 __all__ = [
     # core model
@@ -112,4 +135,17 @@ __all__ = [
     "render_flamegraph_html",
     "trace_id_for",
     "write_flamegraph",
+    # serving (repro.serve)
+    "BesteffsGateway",
+    "CapabilityRealm",
+    "FairShareLedger",
+    "GatewayService",
+    "LoadGenReport",
+    "LoadGenSpec",
+    "ServeConfig",
+    "StoreRequest",
+    "StoreResponse",
+    "StoreStatus",
+    "run_loadgen",
+    "serve",
 ]

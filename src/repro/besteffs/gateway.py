@@ -11,24 +11,44 @@ Composes the distributed-control pieces the paper sketches for Besteffs
 
 Every check is locally verifiable (HMAC capability, per-node or client-
 side ledger), preserving the no-central-components property.
+
+The request surface is the frozen protocol of :mod:`repro.serve.protocol`:
+:meth:`BesteffsGateway.handle` takes a
+:class:`~repro.serve.protocol.StoreRequest` and returns a
+:class:`~repro.serve.protocol.StoreResponse`, which is what the async
+service (:mod:`repro.serve.service`), load generator and CLI speak.  The
+historical ``store(capability, obj, now)`` call survives as a deprecated
+shim over ``handle`` and the per-gate counters live in ``repro.obs``
+(``gateway_refusals_total{gate=...}``) with the old ``refusals`` dict kept
+as a read-only view.
 """
 
 from __future__ import annotations
 
+import math
+import warnings
 from dataclasses import dataclass, field
+from types import MappingProxyType
+from typing import Mapping
 
 from repro.besteffs.auth import AuthError, Capability, CapabilityRealm
 from repro.besteffs.cluster import BesteffsCluster
-from repro.besteffs.fairness import FairnessError, FairShareLedger
+from repro.besteffs.fairness import FairnessError, FairShareLedger, annotation_cost
 from repro.besteffs.placement import PlacementDecision
 from repro.core.obj import StoredObject
+from repro.obs import STATE as _OBS
+from repro.serve.protocol import StoreRequest, StoreResponse, StoreStatus
 
 __all__ = ["StoreOutcome", "BesteffsGateway"]
 
 
 @dataclass(frozen=True)
 class StoreOutcome:
-    """Result of one gateway store request."""
+    """Result of one gateway store request (legacy surface).
+
+    Retained for the deprecated :meth:`BesteffsGateway.store` shim; new
+    code reads the richer :class:`~repro.serve.protocol.StoreResponse`.
+    """
 
     stored: bool
     #: Which gate refused, if any: "auth" | "fairness" | "placement".
@@ -45,44 +65,104 @@ class BesteffsGateway:
     cluster: BesteffsCluster
     realm: CapabilityRealm
     ledger: FairShareLedger
-    #: Counters per refusal gate, for experiments.
-    refusals: dict[str, int] = field(
-        default_factory=lambda: {"auth": 0, "fairness": 0, "placement": 0}
+    _refusals: dict[str, int] = field(
+        default_factory=lambda: {"auth": 0, "fairness": 0, "placement": 0},
+        repr=False,
     )
 
-    def store(
-        self, capability: Capability, obj: StoredObject, now: float
-    ) -> StoreOutcome:
-        """Run the full write path for one object."""
+    @property
+    def refusals(self) -> Mapping[str, int]:
+        """Read-only view of the per-gate refusal counters.
+
+        Legacy shim: the live counters are the ``repro.obs`` series
+        ``gateway_refusals_total{gate=...}`` (which survive metrics
+        export/merge); this mapping mirrors them for callers that predate
+        the obs wiring.
+        """
+        return MappingProxyType(self._refusals)
+
+    def _count_refusal(self, gate: str) -> None:
+        self._refusals[gate] = self._refusals.get(gate, 0) + 1
+        if _OBS.enabled:
+            _OBS.registry.counter(
+                "gateway_refusals_total",
+                "Store requests refused by the gateway, per gate",
+                labelnames=("gate",),
+            ).inc(gate=gate)
+
+    def handle(self, request: StoreRequest, now: float | None = None) -> StoreResponse:
+        """Run the full write path for one :class:`StoreRequest`.
+
+        ``now`` defaults to the payload's arrival time; the serving layer
+        passes its batch clock instead so queued requests are judged at
+        admission time, not submission time.
+        """
+        if now is None:
+            now = request.obj.t_arrival
+        capability, obj = request.capability, request.obj
+
         try:
             self.realm.authorize_store(capability, obj, now)
         except AuthError as exc:
-            self.refusals["auth"] += 1
-            return StoreOutcome(stored=False, refused_by="auth", detail=str(exc))
+            self._count_refusal("auth")
+            return StoreResponse(
+                request_id=request.request_id,
+                status=StoreStatus.REJECTED_AUTH,
+                detail=str(exc),
+            )
 
         try:
             cost = self.ledger.charge(capability.principal, obj, now)
         except FairnessError as exc:
-            self.refusals["fairness"] += 1
-            return StoreOutcome(stored=False, refused_by="fairness", detail=str(exc))
+            self._count_refusal("fairness")
+            return StoreResponse(
+                request_id=request.request_id,
+                status=StoreStatus.REJECTED_FAIRNESS,
+                detail=str(exc),
+                retry_after=self._fairness_retry_after(obj, now),
+            )
 
         decision, _result = self.cluster.offer(obj, now)
         if not decision.placed:
             # The storage itself was full for this importance: the budget
             # was not actually consumed.
             self.ledger.refund(capability.principal, cost, now)
-            self.refusals["placement"] += 1
-            return StoreOutcome(
-                stored=False,
-                refused_by="placement",
+            self._count_refusal("placement")
+            return StoreResponse(
+                request_id=request.request_id,
+                status=StoreStatus.REJECTED_PLACEMENT,
                 detail="cluster full for this object's importance",
                 decision=decision,
                 cost_charged=0.0,
             )
-        return StoreOutcome(
-            stored=True,
-            refused_by=None,
+        return StoreResponse(
+            request_id=request.request_id,
+            status=StoreStatus.ADMITTED,
             detail=f"placed on {decision.node_id}",
             decision=decision,
             cost_charged=cost,
         )
+
+    def _fairness_retry_after(self, obj: StoredObject, now: float) -> float | None:
+        """Minutes until the next budget period, or None if retry is futile.
+
+        An infinite-cost annotation (persistent data) is refused in every
+        period, so no retry hint is offered.
+        """
+        if math.isinf(annotation_cost(obj)):
+            return None
+        period = self.ledger.period_minutes
+        return period - (now % period)
+
+    def store(
+        self, capability: Capability, obj: StoredObject, now: float
+    ) -> StoreOutcome:
+        """Deprecated: use :meth:`handle` with a :class:`StoreRequest`."""
+        warnings.warn(
+            "BesteffsGateway.store(capability, obj, now) is deprecated; build a "
+            "repro.serve.protocol.StoreRequest and call BesteffsGateway.handle()",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        request = StoreRequest(capability=capability, obj=obj)
+        return self.handle(request, now=now).to_outcome()

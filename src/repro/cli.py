@@ -196,6 +196,145 @@ def _add_run_flags(parser: argparse.ArgumentParser) -> None:
     )
 
 
+def _add_serve_flags(parser: argparse.ArgumentParser) -> None:
+    """Shared flags of the ``serve`` and ``loadgen`` subcommands."""
+    parser.add_argument(
+        "--workload",
+        choices=["university", "downloads", "diurnal"],
+        default="university",
+        help="arrival stream replayed as request traffic (default: university)",
+    )
+    parser.add_argument(
+        "--nodes",
+        type=int,
+        default=4,
+        metavar="N",
+        help="Besteffs cluster size; 1 serves a single StorageUnit (default: 4)",
+    )
+    parser.add_argument(
+        "--node-capacity-gib",
+        type=float,
+        default=2.0,
+        metavar="GIB",
+        help="capacity per node (default: 2.0)",
+    )
+    parser.add_argument(
+        "--horizon-days",
+        type=float,
+        default=30.0,
+        metavar="DAYS",
+        help="simulated horizon replayed (default: 30)",
+    )
+    parser.add_argument("--seed", type=int, default=42, help="workload/placement seed")
+    parser.add_argument(
+        "--scale",
+        type=float,
+        default=0.01,
+        metavar="F",
+        help="university catalogue scale factor (default: 0.01)",
+    )
+    parser.add_argument(
+        "--queue-size",
+        type=int,
+        default=256,
+        metavar="N",
+        help="bounded admission queue; beyond it requests shed (default: 256)",
+    )
+    parser.add_argument(
+        "--batch-max",
+        type=int,
+        default=32,
+        metavar="N",
+        help="requests coalesced per placement round (default: 32)",
+    )
+    parser.add_argument(
+        "--rate-per-minute",
+        type=float,
+        default=0.0,
+        metavar="R",
+        help="per-principal token-bucket rate in requests per simulated "
+        "minute; 0 disables (default: 0)",
+    )
+    parser.add_argument(
+        "--rate-burst",
+        type=float,
+        default=8.0,
+        metavar="B",
+        help="token-bucket burst capacity (default: 8)",
+    )
+    parser.add_argument(
+        "--deadline-minutes",
+        type=float,
+        default=None,
+        metavar="MIN",
+        help="relative deadline stamped on every request; queued requests "
+        "past it expire unadmitted (default: none)",
+    )
+    parser.add_argument(
+        "--executor",
+        choices=["inline", "thread"],
+        default="inline",
+        help="batch execution: inline (deterministic) or thread pool "
+        "(default: inline)",
+    )
+    parser.add_argument(
+        "--open-burst",
+        type=int,
+        default=16,
+        metavar="N",
+        help="open-loop requests submitted per scheduler tick (default: 16)",
+    )
+    parser.add_argument(
+        "--max-requests",
+        type=int,
+        default=None,
+        metavar="N",
+        help="cap on replayed requests (default: the whole horizon)",
+    )
+    parser.add_argument(
+        "--budget-gib-days",
+        type=float,
+        default=450.0,
+        metavar="G",
+        help="fair-share budget per principal per period, GiB-days of "
+        "importance (default: 450)",
+    )
+    parser.add_argument(
+        "--period-days",
+        type=float,
+        default=30.0,
+        metavar="DAYS",
+        help="fair-share accounting period (default: 30)",
+    )
+    parser.add_argument(
+        "--metrics-out",
+        type=str,
+        default=None,
+        metavar="FILE",
+        help="write the run's obs metrics as JSON (or .prom text)",
+    )
+    parser.add_argument(
+        "--ledger-out",
+        type=str,
+        default=None,
+        metavar="FILE",
+        help="write the canonical request/response JSONL ledger",
+    )
+    parser.add_argument(
+        "--alerts",
+        dest="alert_rules",
+        type=str,
+        default=None,
+        metavar="FILE",
+        help="evaluate SLO alert rules against the run's metrics",
+    )
+    parser.add_argument(
+        "--check",
+        action="store_true",
+        help="exit 1 when any --alerts rule fails (CI gate)",
+    )
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro-sim",
@@ -286,6 +425,33 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="N",
         help="objects shown when listing (default: 40)",
     )
+    serve_parser = sub.add_parser(
+        "serve",
+        help="serve one workload through the async gateway front-end "
+        "(open loop, single producer)",
+    )
+    _add_serve_flags(serve_parser)
+    loadgen_parser = sub.add_parser(
+        "loadgen",
+        help="drive the gateway service with concurrent client sessions "
+        "(closed or open loop)",
+    )
+    loadgen_parser.add_argument(
+        "--mode",
+        choices=["closed", "open"],
+        default="closed",
+        help="closed: each client awaits its response before the next "
+        "request; open: submit at trace pace and let backpressure shed "
+        "(default: closed)",
+    )
+    loadgen_parser.add_argument(
+        "--clients",
+        type=int,
+        default=8,
+        metavar="N",
+        help="concurrent client sessions in closed mode (default: 8)",
+    )
+    _add_serve_flags(loadgen_parser)
     alerts_parser = sub.add_parser(
         "alerts", help="evaluate SLO alert rules against a run's metrics exports"
     )
@@ -653,6 +819,76 @@ def _alerts_cmd(args: argparse.Namespace) -> int:
     return 0
 
 
+def _serve_cmd(args: argparse.Namespace, *, mode: str, clients: int) -> int:
+    """The ``serve``/``loadgen`` subcommands: one serving experiment.
+
+    ``serve`` is the open-loop single-producer special case of
+    ``loadgen``; both build a deployment from the spec, replay the
+    workload through the async service, and print the report.  Metrics
+    export and in-run alert evaluation mirror the ``run`` subcommand.
+    """
+    from repro.serve.loadgen import LoadGenSpec, render_report, run_loadgen
+    from repro.serve.protocol import ServeError
+
+    obs_requested = bool(args.metrics_out or args.alert_rules)
+    if obs_requested:
+        from repro import obs
+
+        obs.reset()
+        obs.enable()
+    try:
+        spec = LoadGenSpec(
+            workload=args.workload,
+            mode=mode,
+            clients=clients,
+            nodes=args.nodes,
+            node_capacity_gib=args.node_capacity_gib,
+            horizon_days=args.horizon_days,
+            seed=args.seed,
+            scale=args.scale,
+            queue_size=args.queue_size,
+            batch_max=args.batch_max,
+            rate_per_minute=args.rate_per_minute,
+            rate_burst=args.rate_burst,
+            deadline_minutes=args.deadline_minutes,
+            executor=args.executor,
+            open_burst=args.open_burst,
+            budget_gib_days=args.budget_gib_days,
+            period_days=args.period_days,
+            max_requests=args.max_requests,
+        )
+        try:
+            report = run_loadgen(spec)
+        except ServeError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+        print(render_report(report))
+        if args.ledger_out is not None:
+            path = report.ledger.write_jsonl(args.ledger_out)
+            print(f"[serve ledger written to {path}: {len(report.ledger)} entries]")
+        failed = False
+        if obs_requested:
+            from repro import obs
+
+            if args.metrics_out is not None:
+                _write_metrics(args.metrics_out, args.command, trace=False)
+                print(f"[metrics written to {args.metrics_out}]")
+            if args.alert_rules:
+                from repro.obs.alerts import AlertEngine, load_rules
+                from repro.report.metrics import alerts_verdict_line
+
+                engine = AlertEngine(rules=load_rules(args.alert_rules))
+                engine.evaluate(obs.STATE.registry)
+                print(alerts_verdict_line(engine))
+                failed = not engine.passed
+        return 1 if failed and args.check else 0
+    finally:
+        if obs_requested:
+            from repro import obs
+
+            obs.disable()
+
+
 def _run_serial(names: list[str], args: argparse.Namespace) -> int:
     """The historical inline path: one experiment at a time, live obs STATE."""
     opts = _obs_options(args)
@@ -929,6 +1165,10 @@ def main(argv: list[str] | None = None) -> int:
         return _explain_cmd(args)
     if args.command == "alerts":
         return _alerts_cmd(args)
+    if args.command == "serve":
+        return _serve_cmd(args, mode="open", clients=1)
+    if args.command == "loadgen":
+        return _serve_cmd(args, mode=args.mode, clients=args.clients)
     if args.command == "sweep":
         try:
             grid = _parse_param_grid(args.param)

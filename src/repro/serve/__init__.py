@@ -1,0 +1,61 @@
+"""``repro.serve`` — the concurrent serving front-end over Besteffs.
+
+The ROADMAP's "serve the store, don't just simulate it" subsystem:
+
+* :mod:`repro.serve.protocol` — the frozen request/response surface
+  (:class:`StoreRequest`, :class:`StoreResponse`, :class:`StoreStatus`);
+* :mod:`repro.serve.service` — the asyncio :class:`GatewayService` with
+  batched admission, bounded queues + backpressure shedding, rate
+  limiting and graceful drain, plus the synchronous :func:`serve` helper;
+* :mod:`repro.serve.ratelimit` — per-principal token buckets in sim time;
+* :mod:`repro.serve.ledger` — the canonical-bytes request/response JSONL
+  ledger (byte-identical across seeded runs);
+* :mod:`repro.serve.loadgen` — seeded closed/open-loop load generation
+  replaying the workload generators as concurrent client sessions.
+
+Only the protocol is imported eagerly: the gateway itself speaks
+:class:`StoreRequest`/:class:`StoreResponse`, so this package must be
+importable from :mod:`repro.besteffs.gateway` without circularity.  The
+service and loadgen surfaces load lazily on first attribute access.
+"""
+
+from repro.serve.protocol import ServeError, StoreRequest, StoreResponse, StoreStatus
+
+__all__ = [
+    "GatewayService",
+    "LoadGenReport",
+    "LoadGenSpec",
+    "ServeConfig",
+    "ServeError",
+    "ServeLedger",
+    "StoreRequest",
+    "StoreResponse",
+    "StoreStatus",
+    "TokenBucketLimiter",
+    "run_loadgen",
+    "serve",
+]
+
+_LAZY = {
+    "GatewayService": "repro.serve.service",
+    "ServeConfig": "repro.serve.service",
+    "serve": "repro.serve.service",
+    "ServeLedger": "repro.serve.ledger",
+    "TokenBucketLimiter": "repro.serve.ratelimit",
+    "LoadGenSpec": "repro.serve.loadgen",
+    "LoadGenReport": "repro.serve.loadgen",
+    "run_loadgen": "repro.serve.loadgen",
+}
+
+
+def __getattr__(name: str):
+    module_name = _LAZY.get(name)
+    if module_name is None:
+        raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+    import importlib
+
+    return getattr(importlib.import_module(module_name), name)
+
+
+def __dir__() -> list[str]:
+    return sorted(__all__)

@@ -1,0 +1,112 @@
+"""The request/response JSONL ledger of a serving run.
+
+Every request the service answers — admitted, rejected, shed or expired —
+appends one entry pairing the request's canonical form with the
+response's.  The ledger follows the trace archive's canonical-bytes
+discipline (:mod:`repro.obs.traceexport`): one ``json.dumps(...,
+sort_keys=True)`` object per line, entries ordered by submission
+sequence, **simulation-time fields only**.  Wall-clock latencies live in
+the obs histograms and the loadgen report, never here — so a seeded
+closed-loop run writes a byte-identical ledger on every invocation (the
+determinism pin in ``tests/serve/test_determinism.py``).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.serve.protocol import StoreRequest, StoreResponse
+
+__all__ = ["ServeLedgerEntry", "ServeLedger"]
+
+_FORMAT = "repro-serve-ledger/1"
+
+
+@dataclass(frozen=True)
+class ServeLedgerEntry:
+    """One answered request: submit/decide sim-times plus both halves."""
+
+    seq: int
+    t_submit: float
+    t_decided: float
+    request: StoreRequest
+    response: StoreResponse
+
+    def to_dict(self) -> dict[str, object]:
+        return {
+            "seq": self.seq,
+            "t_submit": self.t_submit,
+            "t_decided": self.t_decided,
+            "request": self.request.canonical_dict(),
+            "response": self.response.canonical_dict(),
+        }
+
+
+@dataclass
+class ServeLedger:
+    """Append-only record of every request/response pair of one run."""
+
+    _entries: list[ServeLedgerEntry] = field(default_factory=list)
+
+    def record(
+        self,
+        request: StoreRequest,
+        response: StoreResponse,
+        *,
+        t_submit: float,
+        t_decided: float,
+        seq: int | None = None,
+    ) -> ServeLedgerEntry:
+        """Append one pair; ``seq`` is the submission sequence number.
+
+        When omitted it defaults to the append position, which is only
+        correct for callers that record strictly in submission order (the
+        service passes its own submit counter, since shed responses are
+        recorded immediately while queued ones wait for their batch).
+        """
+        entry = ServeLedgerEntry(
+            seq=len(self._entries) if seq is None else seq,
+            t_submit=t_submit,
+            t_decided=t_decided,
+            request=request,
+            response=response,
+        )
+        self._entries.append(entry)
+        return entry
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    @property
+    def entries(self) -> tuple[ServeLedgerEntry, ...]:
+        return tuple(self._entries)
+
+    def _header(self) -> dict[str, object]:
+        return {"format": _FORMAT, "entries": len(self._entries)}
+
+    def canonical_bytes(self) -> bytes:
+        """The run-invariant byte form: header line + one line per entry.
+
+        Entries are sorted by submission sequence (they are appended in
+        decision order, which under batching can interleave) so two runs
+        that answered the same requests produce identical bytes.
+        """
+        lines = [json.dumps(self._header(), sort_keys=True)]
+        lines.extend(
+            json.dumps(e.to_dict(), sort_keys=True)
+            for e in sorted(self._entries, key=lambda e: e.seq)
+        )
+        return ("\n".join(lines) + "\n").encode("utf-8")
+
+    def canonical_sha256(self) -> str:
+        return hashlib.sha256(self.canonical_bytes()).hexdigest()
+
+    def write_jsonl(self, path: str | Path) -> Path:
+        """Write the canonical JSONL form to ``path`` and return it."""
+        path = Path(path)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_bytes(self.canonical_bytes())
+        return path

@@ -1,0 +1,339 @@
+"""Seeded closed/open-loop load generator over :class:`GatewayService`.
+
+Replays the simulator's workload generators (university capture,
+Fig. 8 download-popularity trace, diurnally modulated single-app) as
+concurrent client sessions against a freshly built Besteffs deployment —
+cluster, capability realm, fair-share ledger, gateway, service — so one
+:class:`LoadGenSpec` describes a complete serving experiment:
+
+* **closed loop** — the request stream is partitioned round-robin across
+  ``clients`` sessions; each session submits its next request only after
+  the previous response arrives (classic closed-loop think-time-zero
+  clients, so offered load self-limits to service capacity);
+* **open loop** — every request is submitted as soon as the producer
+  reaches it, regardless of outstanding responses; the bounded queue and
+  rate limiter do the shedding (this is the mode that exercises
+  backpressure).
+
+Everything that decides *outcomes* runs on simulation time with seeded
+RNGs, so a spec maps to one byte-exact request/response ledger
+(:meth:`LoadGenReport.ledger`).  Wall-clock enters only the throughput
+and latency figures of the report.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from dataclasses import dataclass
+from itertools import islice
+from time import perf_counter
+from typing import Iterator
+
+from repro.besteffs.auth import Capability, CapabilityRealm
+from repro.besteffs.cluster import BesteffsCluster, ClusterStats
+from repro.besteffs.fairness import FairShareLedger
+from repro.besteffs.gateway import BesteffsGateway
+from repro.besteffs.placement import PlacementConfig
+from repro.core.importance import TwoStepImportance
+from repro.core.obj import StoredObject
+from repro.serve.ledger import ServeLedger
+from repro.serve.protocol import ServeError, StoreRequest
+from repro.serve.service import GatewayService, ServeConfig
+from repro.sim.workload.diurnal import DiurnalModulation, OFFICE_HOURS_PROFILE
+from repro.sim.workload.downloads import synthesize_download_trace
+from repro.sim.workload.single_app import SingleAppWorkload
+from repro.sim.workload.university import (
+    STUDENT_CREATOR,
+    UniversityConfig,
+    UniversityWorkload,
+)
+from repro.units import MINUTES_PER_DAY, days, gib, mib
+
+__all__ = ["LoadGenSpec", "LoadGenReport", "run_loadgen", "render_report"]
+
+WORKLOADS = ("university", "downloads", "diurnal")
+MODES = ("closed", "open")
+
+#: Initial-importance ceiling minted per creator class; the student tier
+#: gets exactly the workload's student importance so the capability path
+#: is exercised without refusing the nominal stream.
+_CEILINGS = {STUDENT_CREATOR: 0.5}
+
+#: Cache-grade annotation stamped onto replayed downloads: each fetch is
+#: materialised as a short-lived mirror copy (Schmidt & Jensen's
+#: short-lived-data regime), waning over a few days.
+_DOWNLOAD_LIFETIME = TwoStepImportance(p=0.35, t_persist=days(2), t_wane=days(5))
+_DOWNLOAD_BYTES = mib(64)
+
+
+@dataclass(frozen=True)
+class LoadGenSpec:
+    """One serving experiment: deployment, traffic, and service tuning."""
+
+    workload: str = "university"
+    mode: str = "closed"
+    clients: int = 8
+    nodes: int = 4
+    node_capacity_gib: float = 2.0
+    horizon_days: float = 30.0
+    seed: int = 42
+    #: University catalogue scale factor (fraction of the full campus).
+    scale: float = 0.01
+    queue_size: int = 256
+    batch_max: int = 32
+    rate_per_minute: float = 0.0
+    rate_burst: float = 8.0
+    #: Relative deadline (minutes after arrival) stamped on every request;
+    #: None submits without deadlines.
+    deadline_minutes: float | None = None
+    executor: str = "inline"
+    #: Open-loop pacing: requests submitted per scheduler tick.  The
+    #: worker drains at most ``batch_max`` per tick, so a burst above
+    #: ``batch_max`` grows the queue and eventually sheds — the knob that
+    #: makes backpressure observable.
+    open_burst: int = 16
+    #: Fair-share budget per principal per period, in GiB·days of
+    #: importance (byte-importance-minutes / (2^30 · 1440)).
+    budget_gib_days: float = 450.0
+    period_days: float = 30.0
+    #: Hard cap on replayed requests; None replays the whole horizon.
+    max_requests: int | None = None
+
+    def __post_init__(self) -> None:
+        if self.workload not in WORKLOADS:
+            raise ServeError(f"workload must be one of {WORKLOADS}, got {self.workload!r}")
+        if self.mode not in MODES:
+            raise ServeError(f"mode must be one of {MODES}, got {self.mode!r}")
+        if self.clients < 1:
+            raise ServeError(f"clients must be >= 1, got {self.clients}")
+        if self.nodes < 1:
+            raise ServeError(f"nodes must be >= 1, got {self.nodes}")
+        if self.node_capacity_gib <= 0:
+            raise ServeError(f"node capacity must be positive, got {self.node_capacity_gib}")
+        if self.horizon_days <= 0:
+            raise ServeError(f"horizon must be positive, got {self.horizon_days}")
+        if self.max_requests is not None and self.max_requests < 1:
+            raise ServeError(f"max_requests must be >= 1, got {self.max_requests}")
+        if self.open_burst < 1:
+            raise ServeError(f"open_burst must be >= 1, got {self.open_burst}")
+
+    def serve_config(self) -> ServeConfig:
+        return ServeConfig(
+            queue_size=self.queue_size,
+            batch_max=self.batch_max,
+            rate_per_minute=self.rate_per_minute,
+            rate_burst=self.rate_burst,
+            executor=self.executor,
+        )
+
+
+def build_gateway(spec: LoadGenSpec) -> BesteffsGateway:
+    """Stand up the deployment a spec describes: cluster, realm, ledger."""
+    capacities = {
+        f"node-{i:03d}": gib(spec.node_capacity_gib) for i in range(spec.nodes)
+    }
+    cluster = BesteffsCluster(
+        capacities,
+        placement=PlacementConfig(x=min(4, spec.nodes), m=2),
+        seed=spec.seed,
+    )
+    realm = CapabilityRealm(key=b"repro-serve-loadgen")
+    ledger = FairShareLedger(
+        budget_per_period=spec.budget_gib_days * gib(1) * MINUTES_PER_DAY,
+        period_minutes=days(spec.period_days),
+    )
+    return BesteffsGateway(cluster, realm, ledger)
+
+
+def _download_arrivals(spec: LoadGenSpec) -> Iterator[StoredObject]:
+    """Materialise the Fig. 8 popularity trace as cache-grade writes.
+
+    Each daily download becomes one mirror copy, spread deterministically
+    across its day so the service clock advances within days too.
+    """
+    horizon_days = spec.horizon_days
+    for day, count in synthesize_download_trace(seed=spec.seed):
+        if day > horizon_days:
+            break
+        for i in range(count):
+            t = float(day * MINUTES_PER_DAY + (i * MINUTES_PER_DAY) // max(1, count))
+            yield StoredObject(
+                size=_DOWNLOAD_BYTES,
+                t_arrival=t,
+                lifetime=_DOWNLOAD_LIFETIME,
+                creator="mirror",
+                metadata={"day": day, "fetch": i},
+            )
+
+
+def _arrivals(spec: LoadGenSpec) -> Iterator[StoredObject]:
+    horizon = days(spec.horizon_days)
+    if spec.workload == "university":
+        workload = UniversityWorkload(
+            config=UniversityConfig().scaled(spec.scale), seed=spec.seed
+        )
+        return workload.arrivals(horizon)
+    if spec.workload == "downloads":
+        return _download_arrivals(spec)
+    assert spec.workload == "diurnal"
+    modulated = DiurnalModulation(
+        SingleAppWorkload(seed=spec.seed),
+        profile=OFFICE_HOURS_PROFILE,
+        seed=spec.seed + 1,
+    )
+    return modulated.arrivals(horizon)
+
+
+def build_requests(spec: LoadGenSpec, realm: CapabilityRealm) -> list[StoreRequest]:
+    """Replay the spec's workload as a request stream with capabilities.
+
+    One capability is minted per creator class (lazily, on first
+    arrival), with the initial-importance ceiling of :data:`_CEILINGS`
+    where listed (1.0 otherwise).
+    """
+    caps: dict[str, Capability] = {}
+    requests: list[StoreRequest] = []
+    stream = _arrivals(spec)
+    if spec.max_requests is not None:
+        stream = islice(stream, spec.max_requests)
+    for obj in stream:
+        cap = caps.get(obj.creator)
+        if cap is None:
+            cap = caps[obj.creator] = realm.mint(
+                obj.creator,
+                max_initial_importance=_CEILINGS.get(obj.creator, 1.0),
+            )
+        deadline = (
+            None
+            if spec.deadline_minutes is None
+            else obj.t_arrival + spec.deadline_minutes
+        )
+        requests.append(StoreRequest(capability=cap, obj=obj, deadline=deadline))
+    return requests
+
+
+@dataclass
+class LoadGenReport:
+    """What one loadgen run produced, measured, and recorded."""
+
+    spec: LoadGenSpec
+    requests: int
+    responses_by_status: dict[str, int]
+    shed_by_reason: dict[str, int]
+    refusals: dict[str, int]
+    batches: int
+    queue_peak: int
+    wall_seconds: float
+    ops_per_sec: float
+    latency_mean_s: float
+    latency_p50_s: float
+    latency_p95_s: float
+    latency_p99_s: float
+    cluster: ClusterStats
+    ledger: ServeLedger
+
+    @property
+    def admitted(self) -> int:
+        return self.responses_by_status.get("admitted", 0)
+
+
+def _percentile(sorted_values: list[float], q: float) -> float:
+    """Nearest-rank percentile of an ascending list (0.0 when empty)."""
+    if not sorted_values:
+        return 0.0
+    rank = max(0, min(len(sorted_values) - 1, round(q * (len(sorted_values) - 1))))
+    return sorted_values[rank]
+
+
+async def _drive(
+    service: GatewayService,
+    requests: list[StoreRequest],
+    mode: str,
+    clients: int,
+    open_burst: int,
+) -> None:
+    if mode == "closed":
+
+        async def session(chunk: list[StoreRequest]) -> None:
+            for request in chunk:
+                await service.submit(request)
+
+        chunks = [requests[i::clients] for i in range(clients)]
+        await asyncio.gather(*(session(c) for c in chunks if c))
+        return
+
+    tasks = []
+    for i, request in enumerate(requests, start=1):
+        tasks.append(asyncio.ensure_future(service.submit(request)))
+        if i % open_burst == 0:
+            await asyncio.sleep(0)
+    await asyncio.gather(*tasks)
+
+
+def run_loadgen(spec: LoadGenSpec) -> LoadGenReport:
+    """Build the deployment, replay the traffic, return the report."""
+    gateway = build_gateway(spec)
+    requests = build_requests(spec, gateway.realm)
+    ledger = ServeLedger()
+    service = GatewayService(gateway, config=spec.serve_config(), ledger=ledger)
+
+    async def _run() -> float:
+        await service.start()
+        t0 = perf_counter()
+        await _drive(service, requests, spec.mode, spec.clients, spec.open_burst)
+        await service.stop()
+        return perf_counter() - t0
+
+    wall = asyncio.run(_run())
+    lat = sorted(service.latencies_seconds)
+    n = len(requests)
+    return LoadGenReport(
+        spec=spec,
+        requests=n,
+        responses_by_status=dict(service.responses_by_status),
+        shed_by_reason=dict(service.shed_by_reason),
+        refusals=dict(gateway.refusals),
+        batches=service.batches,
+        queue_peak=service.queue_peak,
+        wall_seconds=wall,
+        ops_per_sec=n / wall if wall > 0 else 0.0,
+        latency_mean_s=sum(lat) / len(lat) if lat else 0.0,
+        latency_p50_s=_percentile(lat, 0.50),
+        latency_p95_s=_percentile(lat, 0.95),
+        latency_p99_s=_percentile(lat, 0.99),
+        cluster=gateway.cluster.stats(now=service.clock),
+        ledger=ledger,
+    )
+
+
+def render_report(report: LoadGenReport) -> str:
+    """Human-readable summary for the CLI."""
+    spec = report.spec
+    lines = [
+        f"loadgen: {spec.workload} workload, {spec.mode} loop, "
+        f"{spec.clients} client(s), {spec.nodes} node(s)",
+        f"  requests        {report.requests}",
+    ]
+    for status in sorted(report.responses_by_status):
+        lines.append(f"  {status:<15} {report.responses_by_status[status]}")
+    if report.shed_by_reason:
+        shed = ", ".join(
+            f"{reason}={count}" for reason, count in sorted(report.shed_by_reason.items())
+        )
+        lines.append(f"  shed reasons    {shed}")
+    lines += [
+        f"  batches         {report.batches} (queue peak {report.queue_peak})",
+        f"  throughput      {report.ops_per_sec:,.0f} ops/s over {report.wall_seconds:.3f}s",
+        (
+            f"  latency         p50 {report.latency_p50_s * 1e6:,.0f}us  "
+            f"p95 {report.latency_p95_s * 1e6:,.0f}us  "
+            f"p99 {report.latency_p99_s * 1e6:,.0f}us"
+        ),
+        (
+            f"  cluster         {report.cluster.placed} placed / "
+            f"{report.cluster.rejected} rejected, "
+            f"{report.cluster.resident_objects} resident"
+        ),
+        f"  ledger sha256   {report.ledger.canonical_sha256()}",
+    ]
+    return "\n".join(lines)

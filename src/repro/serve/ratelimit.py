@@ -1,0 +1,82 @@
+"""Per-principal token-bucket rate limiting for the serving front-end.
+
+This is the *request-rate* guard that layers on top of the
+:class:`~repro.besteffs.fairness.FairShareLedger`'s *byte-importance*
+budget: the ledger bounds how much importance-weighted storage a
+principal may claim per period, the bucket bounds how many requests per
+minute they may even submit.  Both are locally verifiable (a plain
+counter per principal), preserving the paper's no-central-components
+property.
+
+The bucket runs on **simulation time** (minutes), like everything else in
+the reproduction, so a seeded loadgen run makes identical shed decisions
+on every invocation — wall clocks never enter the picture.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.serve.protocol import ServeError
+
+__all__ = ["TokenBucketLimiter"]
+
+
+@dataclass
+class TokenBucketLimiter:
+    """Classic token bucket, one bucket per principal, sim-time refill.
+
+    Each principal accrues ``rate_per_minute`` tokens per simulated
+    minute up to a cap of ``burst``; a request costs one token.  A
+    ``rate_per_minute`` of 0 (the default upstream) disables limiting
+    entirely.  Buckets start full, so a quiet principal can always burst.
+    """
+
+    rate_per_minute: float
+    burst: float = 1.0
+    _tokens: dict[str, float] = field(default_factory=dict, repr=False)
+    _stamp: dict[str, float] = field(default_factory=dict, repr=False)
+
+    def __post_init__(self) -> None:
+        if self.rate_per_minute < 0:
+            raise ServeError(f"rate_per_minute must be >= 0, got {self.rate_per_minute}")
+        if self.burst < 1.0:
+            raise ServeError(f"burst must be >= 1 token, got {self.burst}")
+
+    @property
+    def enabled(self) -> bool:
+        return self.rate_per_minute > 0
+
+    def _refill(self, principal: str, now: float) -> float:
+        tokens = self._tokens.get(principal, self.burst)
+        last = self._stamp.get(principal, now)
+        if now > last:
+            tokens = min(self.burst, tokens + (now - last) * self.rate_per_minute)
+        self._tokens[principal] = tokens
+        self._stamp[principal] = max(last, now)
+        return tokens
+
+    def try_acquire(self, principal: str, now: float) -> bool:
+        """Take one token if available; False means shed the request."""
+        if not self.enabled:
+            return True
+        tokens = self._refill(principal, now)
+        if tokens >= 1.0:
+            self._tokens[principal] = tokens - 1.0
+            return True
+        return False
+
+    def retry_after(self, principal: str, now: float) -> float:
+        """Minutes until the principal's bucket holds a whole token again."""
+        if not self.enabled:
+            return 0.0
+        tokens = self._refill(principal, now)
+        if tokens >= 1.0:
+            return 0.0
+        return (1.0 - tokens) / self.rate_per_minute
+
+    def tokens(self, principal: str, now: float) -> float:
+        """Current token balance (after refill), for tests and reports."""
+        if not self.enabled:
+            return float("inf")
+        return self._refill(principal, now)

@@ -32,6 +32,7 @@ from repro.besteffs import (
 from repro.core.importance import TwoStepImportance
 from repro.core.obj import StoredObject
 from repro.fs import ClusterFS
+from repro.serve import StoreRequest
 from repro.units import days, gib, mib
 
 
@@ -71,13 +72,15 @@ def campus():
                 size=mib(300), t_arrival=now, lifetime=lecture_life,
                 object_id=f"lec-{day:03d}", creator="registrar",
             )
-            result = gateway.store(registrar, obj, now)
+            result = gateway.handle(
+                StoreRequest(capability=registrar, obj=obj), now=now
+            )
             outcomes["stored" if result.stored else "refused"] += 1
             sobj = StoredObject(
                 size=mib(120), t_arrival=now, lifetime=student_life,
                 object_id=f"stu-{day:03d}", creator="student",
             )
-            gateway.store(student, sobj, now)
+            gateway.handle(StoreRequest(capability=student, obj=sobj), now=now)
         # The filesystem mounts some shared documents weekly.
         if day % 7 == 1:
             path = f"/shared/notes-{day:03d}.pdf"

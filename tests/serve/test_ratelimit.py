@@ -1,0 +1,76 @@
+"""Tests for the per-principal token-bucket rate limiter."""
+
+import pytest
+
+from repro.serve.protocol import ServeError
+from repro.serve.ratelimit import TokenBucketLimiter
+
+
+class TestValidation:
+    def test_negative_rate_rejected(self):
+        with pytest.raises(ServeError):
+            TokenBucketLimiter(rate_per_minute=-1.0)
+
+    def test_sub_token_burst_rejected(self):
+        with pytest.raises(ServeError):
+            TokenBucketLimiter(rate_per_minute=1.0, burst=0.5)
+
+
+class TestDisabled:
+    def test_zero_rate_never_limits(self):
+        limiter = TokenBucketLimiter(rate_per_minute=0.0)
+        assert not limiter.enabled
+        for _ in range(1000):
+            assert limiter.try_acquire("anyone", 0.0)
+        assert limiter.retry_after("anyone", 0.0) == 0.0
+
+
+class TestBucket:
+    def test_burst_then_deny(self):
+        limiter = TokenBucketLimiter(rate_per_minute=1.0, burst=3.0)
+        assert [limiter.try_acquire("a", 0.0) for _ in range(4)] == [
+            True, True, True, False,
+        ]
+
+    def test_sim_time_refill(self):
+        limiter = TokenBucketLimiter(rate_per_minute=2.0, burst=1.0)
+        assert limiter.try_acquire("a", 0.0)
+        assert not limiter.try_acquire("a", 0.0)
+        # 0.5 simulated minutes refills one token at 2/min.
+        assert limiter.try_acquire("a", 0.5)
+
+    def test_refill_caps_at_burst(self):
+        limiter = TokenBucketLimiter(rate_per_minute=10.0, burst=2.0)
+        for _ in range(2):
+            assert limiter.try_acquire("a", 0.0)
+        # A long quiet spell refills to burst, not beyond.
+        assert limiter.tokens("a", 1000.0) == 2.0
+
+    def test_retry_after_is_time_to_one_token(self):
+        limiter = TokenBucketLimiter(rate_per_minute=4.0, burst=1.0)
+        assert limiter.try_acquire("a", 0.0)
+        # Empty bucket at rate 4/min: a whole token in 0.25 minutes.
+        assert limiter.retry_after("a", 0.0) == pytest.approx(0.25)
+
+    def test_principals_are_isolated(self):
+        limiter = TokenBucketLimiter(rate_per_minute=1.0, burst=1.0)
+        assert limiter.try_acquire("a", 0.0)
+        assert not limiter.try_acquire("a", 0.0)
+        assert limiter.try_acquire("b", 0.0)
+
+    def test_time_never_runs_backwards(self):
+        limiter = TokenBucketLimiter(rate_per_minute=1.0, burst=2.0)
+        assert limiter.try_acquire("a", 10.0)
+        # An out-of-order earlier submission cannot un-refill the bucket.
+        assert limiter.try_acquire("a", 5.0)
+        assert limiter.tokens("a", 10.0) == 0.0
+
+    def test_deterministic_across_instances(self):
+        def drive(limiter):
+            return [
+                limiter.try_acquire("p", t / 7.0) for t in range(50)
+            ]
+
+        a = TokenBucketLimiter(rate_per_minute=0.3, burst=2.0)
+        b = TokenBucketLimiter(rate_per_minute=0.3, burst=2.0)
+        assert drive(a) == drive(b)
