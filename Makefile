@@ -1,4 +1,4 @@
-.PHONY: install test unit test-parallel obs-smoke audit-smoke alerts-check trace-smoke serve-smoke bench bench-index bench-mega bench-baseline bench-check examples figures lint clean
+.PHONY: install test unit test-parallel obs-smoke audit-smoke alerts-check trace-smoke serve-smoke bench bench-index bench-mega bench-serve-scaling bench-baseline bench-check examples figures lint clean
 
 install:
 	pip install -e '.[test]'
@@ -95,6 +95,16 @@ bench-index:
 bench-mega:
 	RUN_MEGA=1 PYTHONPATH=src$${PYTHONPATH:+:$$PYTHONPATH} pytest \
 		benchmarks/test_sec54_mega.py -q --benchmark-disable \
+		--bench-check benchmarks/baselines
+
+# Flash-crowd scaling benchmark: 1 -> 8 gateway shards under the
+# slashdot burst, gating >= 2x fleet throughput at 4 shards and
+# byte-identical merged artifacts at any executor worker count.  Part of
+# the default bench-check sweep; this target runs just the scaling
+# module (see docs/performance.md).
+bench-serve-scaling:
+	PYTHONPATH=src$${PYTHONPATH:+:$$PYTHONPATH} pytest \
+		benchmarks/test_serve_scaling.py -q --benchmark-disable \
 		--bench-check benchmarks/baselines
 
 # Perf-regression harness: record BENCH_*.json baselines, then gate future

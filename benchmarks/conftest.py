@@ -25,6 +25,14 @@ sub-100ms tests) or when an artifact checksum drifts — catching both
 performance regressions and silent output changes in one gate.  Peak RSS
 is recorded for trend inspection but never gated: it is a process-wide
 high-water mark, so a test's reading depends on what ran before it.
+
+Tests may also report named metrics via the ``record_value`` fixture
+(``record_value("requests_per_sec", report.ops_per_sec)``).  Values land
+in the baseline JSON next to ``seconds`` and are carried through
+``--bench-check`` as *tracked-but-not-gated* trend data: the check
+reports the current reading against the baseline in the terminal summary
+but never fails on it — throughput readings are machine-dependent in
+ways wall-time ratios are not.
 """
 
 from __future__ import annotations
@@ -126,6 +134,8 @@ def pytest_sessionfinish(session):
         peak_rss = _peak_rss_kib()
         if peak_rss is not None:
             tr.write_line(f"bench session peak RSS: {peak_rss / 1024:.1f} MiB")
+        for line in getattr(config, "_bench_value_lines", []):
+            tr.write_line(line)
     directory = config.getoption("--bench-json")
     if directory:
         written = config._bench_recorder.flush(directory)
@@ -133,6 +143,22 @@ def pytest_sessionfinish(session):
             tr.write_line(
                 f"bench baselines: {len(written)} file(s) written to {directory}"
             )
+
+
+def _report_values(config, nodeid, values):
+    """Queue tracked-but-not-gated metric lines for the terminal summary."""
+    directory = config.getoption("--bench-check")
+    path = _baseline_path(directory, nodeid)
+    baseline = {}
+    if path.is_file():
+        baseline = json.loads(path.read_text()).get(nodeid, {}).get("values", {})
+    lines = getattr(config, "_bench_value_lines", None)
+    if lines is None:
+        lines = config._bench_value_lines = []
+    for name, value in sorted(values.items()):
+        reference = baseline.get(name)
+        suffix = f" (baseline {reference:,.1f})" if reference is not None else ""
+        lines.append(f"bench value {nodeid} {name}: {value:,.1f}{suffix}")
 
 
 def _check_against_baseline(config, nodeid, seconds, artifacts):
@@ -192,7 +218,9 @@ def _bench_guard(request):
         yield
         return
     artifacts: dict[str, str] = {}
+    values: dict[str, float] = {}
     request.node._bench_artifacts = artifacts
+    request.node._bench_values = values
     t0 = time.perf_counter()
     yield
     seconds = time.perf_counter() - t0
@@ -203,10 +231,14 @@ def _bench_guard(request):
             "seconds": round(seconds, 6),
             "artifacts": dict(sorted(artifacts.items())),
         }
+        if values:
+            record["values"] = {k: round(v, 6) for k, v in sorted(values.items())}
         if peak_rss is not None:
             record["peak_rss_kib"] = peak_rss
         config._bench_recorder.records[nodeid] = record
     if checking:
+        if values:
+            _report_values(config, nodeid, values)
         _check_against_baseline(config, nodeid, seconds, artifacts)
 
 
@@ -235,6 +267,23 @@ def save_artifact(out_dir, request):
         return path
 
     return _save
+
+
+@pytest.fixture
+def record_value(request):
+    """Report a named metric into the baseline as trend data, never gated.
+
+    ``record_value("requests_per_sec", 51234.0)`` lands under ``values``
+    in ``BENCH_<module>.json``; ``--bench-check`` echoes the current
+    reading against the baseline but a drift alone cannot fail the test.
+    """
+
+    def _record(name: str, value: float) -> None:
+        values = getattr(request.node, "_bench_values", None)
+        if values is not None:
+            values[name] = float(value)
+
+    return _record
 
 
 def run_once(benchmark, fn, *args, **kwargs):

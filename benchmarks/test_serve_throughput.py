@@ -74,8 +74,9 @@ def timing_summary(report) -> str:
     )
 
 
-def test_serve_throughput_single_node(benchmark, save_artifact):
+def test_serve_throughput_single_node(benchmark, save_artifact, record_value):
     report = run_once(benchmark, run_fresh, spec_for(nodes=1))
+    record_value("requests_per_sec", report.ops_per_sec)
 
     assert report.requests == MAX_REQUESTS
     assert sum(report.responses_by_status.values()) == report.requests
@@ -92,9 +93,10 @@ def test_serve_throughput_single_node(benchmark, save_artifact):
     save_artifact("serve_single_node_timing", timing_summary(report), checksum=False)
 
 
-def test_serve_throughput_cluster(benchmark, save_artifact):
+def test_serve_throughput_cluster(benchmark, save_artifact, record_value):
     single = run_fresh(spec_for(nodes=1))  # unmeasured comparison run
     report = run_once(benchmark, run_fresh, spec_for(nodes=8))
+    record_value("requests_per_sec", report.ops_per_sec)
 
     assert report.requests == MAX_REQUESTS
     assert sum(report.responses_by_status.values()) == report.requests

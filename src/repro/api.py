@@ -79,11 +79,15 @@ from repro.serve import (
     GatewayService,
     LoadGenReport,
     LoadGenSpec,
+    RouterConfig,
     ServeConfig,
     StoreRequest,
     StoreResponse,
     StoreStatus,
+    home_shard,
+    plan_routes,
     run_loadgen,
+    run_sharded,
     serve,
 )
 
@@ -142,10 +146,14 @@ __all__ = [
     "GatewayService",
     "LoadGenReport",
     "LoadGenSpec",
+    "RouterConfig",
     "ServeConfig",
     "StoreRequest",
     "StoreResponse",
     "StoreStatus",
+    "home_shard",
+    "plan_routes",
     "run_loadgen",
+    "run_sharded",
     "serve",
 ]

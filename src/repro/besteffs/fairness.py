@@ -126,6 +126,9 @@ class FairShareLedger:
     period_minutes: float
     #: period index -> principal -> spent cost
     _spent: dict[int, dict[str, float]] = field(default_factory=dict)
+    #: Debit transactions applied (bulk charges count once — the number
+    #: the serving layer's write coalescing drives down).
+    transactions: int = 0
 
     def __post_init__(self) -> None:
         if self.budget_per_period <= 0 or math.isnan(self.budget_per_period):
@@ -162,7 +165,40 @@ class FairShareLedger:
             )
         bucket = self._spent.setdefault(self._period(now), {})
         bucket[principal] = bucket.get(principal, 0.0) + cost
+        self.transactions += 1
         return cost
+
+    def charge_many(self, principal: str, costs: list[float], now: float) -> float:
+        """Debit several same-principal costs as **one** ledger transaction.
+
+        The batched write path merges the byte charges of coalesced
+        same-class small writes into a single debit — one bucket update
+        instead of ``len(costs)``.  All-or-nothing: raises
+        :class:`FairnessError` when the combined total (or any single
+        cost) does not fit the remaining budget, and callers fall back to
+        per-request :meth:`charge` so partial admission under budget
+        pressure keeps its sequential semantics.  When the total *does*
+        fit, the bulk debit is outcome-equivalent to charging each cost
+        in order: refunds only ever add budget back, so no member of a
+        fitting group could have been refused sequentially.
+        """
+        total = sum(costs)
+        if math.isinf(total) or math.isnan(total):
+            raise FairnessError(
+                f"{principal!r} requested a non-expiring annotation; "
+                "persistent objects are outside the fair-share store"
+            )
+        remaining = self.remaining(principal, now)
+        if total > remaining:
+            raise FairnessError(
+                f"{principal!r} needs {total:.3g} byte-importance-minutes "
+                f"across {len(costs)} writes but only {remaining:.3g} "
+                "remain this period"
+            )
+        bucket = self._spent.setdefault(self._period(now), {})
+        bucket[principal] = bucket.get(principal, 0.0) + total
+        self.transactions += 1
+        return total
 
     def refund(self, principal: str, cost: float, now: float) -> None:
         """Return a previously charged cost (e.g. the store rejected)."""

@@ -74,9 +74,33 @@ def sample_nodes(
     distinct units or has spent ``x * max_attempts_factor`` walks — on a
     small overlay fewer than ``x`` distinct nodes may exist at all, in
     which case every member found is returned.
+
+    When ``x`` covers the whole overlay the walks cannot discover
+    anything a membership scan would not: the best possible outcome is
+    "every node", and on a two-node shard the sampler would burn
+    ``x * max_attempts_factor`` sixteen-step walks to get there.  That
+    case short-circuits to the canonical member list without touching
+    the RNG, so callers that stay below the overlay size (every
+    full-cluster path) draw exactly the bits they always did.
     """
     if x < 1:
         raise OverlayError(f"sample size x must be >= 1, got {x}")
+    if start not in overlay:
+        raise OverlayError(f"walk start {start!r} is not an overlay member")
+    members = overlay.node_ids
+    if x >= len(members):
+        found = list(members)
+        if _OBS.enabled:
+            registry = _OBS.registry
+            registry.counter(
+                "overlay_walks_total", "Random walks executed by the sampler."
+            ).inc(0)
+            registry.histogram(
+                "overlay_sample_attempts",
+                "Walks needed to collect the requested distinct units.",
+                buckets=COUNT_BUCKETS,
+            ).observe(0)
+        return found
     found: list[str] = []
     seen: set[str] = set()
     attempts = 0

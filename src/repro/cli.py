@@ -200,9 +200,76 @@ def _add_serve_flags(parser: argparse.ArgumentParser) -> None:
     """Shared flags of the ``serve`` and ``loadgen`` subcommands."""
     parser.add_argument(
         "--workload",
-        choices=["university", "downloads", "diurnal"],
+        choices=["university", "downloads", "diurnal", "flashcrowd"],
         default="university",
-        help="arrival stream replayed as request traffic (default: university)",
+        help="arrival stream replayed as request traffic; flashcrowd adds a "
+        "hot-key burst aimed at one shard's keyspace (default: university)",
+    )
+    parser.add_argument(
+        "--shards",
+        type=int,
+        default=1,
+        metavar="N",
+        help="gateway shards fronting the cluster; >1 routes requests "
+        "deterministically and serves each shard separately (default: 1)",
+    )
+    parser.add_argument(
+        "--spill",
+        choices=["overflow", "never"],
+        default="overflow",
+        help="route past a saturated home shard to the least-loaded shard "
+        "(overflow) or always home (never) (default: overflow)",
+    )
+    parser.add_argument(
+        "--high-water",
+        type=int,
+        default=64,
+        metavar="N",
+        help="offered-load mark (requests in window) at which the home "
+        "shard spills (default: 64)",
+    )
+    parser.add_argument(
+        "--window-minutes",
+        type=float,
+        default=1440.0,
+        metavar="MIN",
+        help="sliding offered-load window, simulated minutes (default: 1440)",
+    )
+    parser.add_argument(
+        "--no-coalesce",
+        action="store_true",
+        help="disable same-(principal, object) write coalescing per "
+        "admission round",
+    )
+    parser.add_argument(
+        "--hot-objects",
+        type=int,
+        default=8,
+        metavar="N",
+        help="flashcrowd: distinct hot object ids in the burst (default: 8)",
+    )
+    parser.add_argument(
+        "--burst-factor",
+        type=float,
+        default=2.0,
+        metavar="F",
+        help="flashcrowd: burst volume as a multiple of the base stream "
+        "(default: 2.0)",
+    )
+    parser.add_argument(
+        "--target-shard",
+        type=int,
+        default=0,
+        metavar="K",
+        help="flashcrowd: shard whose keyspace the burst aims at (default: 0)",
+    )
+    parser.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        metavar="N",
+        help="shard workers executed concurrently when --shards > 1; "
+        "never affects outcomes (default: 1)",
     )
     parser.add_argument(
         "--nodes",
@@ -856,9 +923,17 @@ def _serve_cmd(args: argparse.Namespace, *, mode: str, clients: int) -> int:
             budget_gib_days=args.budget_gib_days,
             period_days=args.period_days,
             max_requests=args.max_requests,
+            shards=args.shards,
+            spill=args.spill,
+            high_water=args.high_water,
+            window_minutes=args.window_minutes,
+            coalesce=not args.no_coalesce,
+            hot_objects=args.hot_objects,
+            burst_factor=args.burst_factor,
+            target_shard=args.target_shard,
         )
         try:
-            report = run_loadgen(spec)
+            report = run_loadgen(spec, jobs=args.jobs)
         except ServeError as exc:
             print(f"error: {exc}", file=sys.stderr)
             return 2

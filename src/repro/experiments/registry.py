@@ -205,6 +205,21 @@ def _sec54_mega(spec: RunSpec) -> CliRun:
     return result, mod.render(result), [DIGEST_HEADERS, list(result.shard_rows)]
 
 
+def _serve_shard(spec: RunSpec) -> CliRun:
+    from repro.serve import sharded as mod
+
+    outcome = mod.execute(spec)
+    return outcome, mod.render_shard(outcome), [mod.SHARD_ROW_HEADERS, mod.shard_rows(outcome)]
+
+
+def _serve_flash(spec: RunSpec) -> CliRun:
+    from repro.serve import sharded as mod
+    from repro.serve.loadgen import render_report
+
+    report = mod.execute_flash(spec)
+    return report, render_report(report), [mod.SHARD_ROW_HEADERS, mod.merged_rows(report)]
+
+
 def _ext_mixed(spec: RunSpec) -> CliRun:
     from repro.experiments import ext_mixed_apps as mod
 
@@ -297,6 +312,8 @@ _ADAPTERS: dict[str, Callable[[RunSpec], CliRun]] = {
     "sec53": _sec53,
     "sec54-shard": _sec54_shard,
     "sec54-mega": _sec54_mega,
+    "serve-shard": _serve_shard,
+    "serve-flash": _serve_flash,
     "ext-mixed": _ext_mixed,
     "ext-churn": _ext_churn,
     "ext-refresh": _ext_refresh,

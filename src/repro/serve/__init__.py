@@ -11,7 +11,12 @@ The ROADMAP's "serve the store, don't just simulate it" subsystem:
 * :mod:`repro.serve.ledger` — the canonical-bytes request/response JSONL
   ledger (byte-identical across seeded runs);
 * :mod:`repro.serve.loadgen` — seeded closed/open-loop load generation
-  replaying the workload generators as concurrent client sessions.
+  replaying the workload generators as concurrent client sessions;
+* :mod:`repro.serve.router` — deterministic hash-home request routing
+  across gateway shards with saturation-aware spill;
+* :mod:`repro.serve.sharded` — the sharded multi-gateway runner: one
+  :class:`GatewayService` per node slice, globally-sequenced per-shard
+  ledgers merged into one run-wide artifact.
 
 Only the protocol is imported eagerly: the gateway itself speaks
 :class:`StoreRequest`/:class:`StoreResponse`, so this package must be
@@ -22,17 +27,23 @@ service and loadgen surfaces load lazily on first attribute access.
 from repro.serve.protocol import ServeError, StoreRequest, StoreResponse, StoreStatus
 
 __all__ = [
+    "FrozenServeLedger",
     "GatewayService",
     "LoadGenReport",
     "LoadGenSpec",
+    "RouterConfig",
     "ServeConfig",
     "ServeError",
     "ServeLedger",
+    "ShardRouter",
     "StoreRequest",
     "StoreResponse",
     "StoreStatus",
     "TokenBucketLimiter",
+    "home_shard",
+    "plan_routes",
     "run_loadgen",
+    "run_sharded",
     "serve",
 ]
 
@@ -41,10 +52,16 @@ _LAZY = {
     "ServeConfig": "repro.serve.service",
     "serve": "repro.serve.service",
     "ServeLedger": "repro.serve.ledger",
+    "FrozenServeLedger": "repro.serve.ledger",
     "TokenBucketLimiter": "repro.serve.ratelimit",
     "LoadGenSpec": "repro.serve.loadgen",
     "LoadGenReport": "repro.serve.loadgen",
     "run_loadgen": "repro.serve.loadgen",
+    "RouterConfig": "repro.serve.router",
+    "ShardRouter": "repro.serve.router",
+    "home_shard": "repro.serve.router",
+    "plan_routes": "repro.serve.router",
+    "run_sharded": "repro.serve.sharded",
 }
 
 

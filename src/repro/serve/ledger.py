@@ -20,7 +20,7 @@ from pathlib import Path
 
 from repro.serve.protocol import StoreRequest, StoreResponse
 
-__all__ = ["ServeLedgerEntry", "ServeLedger"]
+__all__ = ["ServeLedgerEntry", "ServeLedger", "FrozenServeLedger", "merge_ledger_lines"]
 
 _FORMAT = "repro-serve-ledger/1"
 
@@ -104,9 +104,71 @@ class ServeLedger:
     def canonical_sha256(self) -> str:
         return hashlib.sha256(self.canonical_bytes()).hexdigest()
 
+    def keyed_lines(self) -> list[tuple[int, str]]:
+        """``(seq, canonical JSON line)`` pairs — the picklable transport
+        form shard workers ship back for the parent's merge."""
+        return [
+            (e.seq, json.dumps(e.to_dict(), sort_keys=True))
+            for e in sorted(self._entries, key=lambda e: e.seq)
+        ]
+
     def write_jsonl(self, path: str | Path) -> Path:
         """Write the canonical JSONL form to ``path`` and return it."""
         path = Path(path)
         path.parent.mkdir(parents=True, exist_ok=True)
         path.write_bytes(self.canonical_bytes())
         return path
+
+
+@dataclass(frozen=True)
+class FrozenServeLedger:
+    """A merged, read-only ledger rebuilt from canonical entry lines.
+
+    Sharded serving runs record per-shard :class:`ServeLedger`\\ s whose
+    entries carry *global* sequence numbers; the parent merges their
+    :meth:`ServeLedger.keyed_lines` back into one run-wide ledger.  Only
+    the canonical-bytes surface survives the merge (the typed
+    request/response objects stay in the workers), which is exactly what
+    reports, hashing and ``write_jsonl`` need.
+    """
+
+    lines: tuple[str, ...]
+
+    def __len__(self) -> int:
+        return len(self.lines)
+
+    def canonical_bytes(self) -> bytes:
+        header = json.dumps(
+            {"format": _FORMAT, "entries": len(self.lines)}, sort_keys=True
+        )
+        return ("\n".join([header, *self.lines]) + "\n").encode("utf-8")
+
+    def canonical_sha256(self) -> str:
+        return hashlib.sha256(self.canonical_bytes()).hexdigest()
+
+    def entry_dicts(self) -> list[dict]:
+        """Parsed entry objects, for report post-processing."""
+        return [json.loads(line) for line in self.lines]
+
+    def write_jsonl(self, path: str | Path) -> Path:
+        path = Path(path)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_bytes(self.canonical_bytes())
+        return path
+
+
+def merge_ledger_lines(
+    keyed_lines: "list[tuple[int, str]]",
+) -> FrozenServeLedger:
+    """Merge ``(seq, line)`` pairs from any number of shards into one ledger.
+
+    Sorting by the global sequence number makes the merge independent of
+    shard count, shard order and worker scheduling: the same request
+    stream produces byte-identical canonical bytes at any ``--jobs``.
+    """
+    ordered = sorted(keyed_lines, key=lambda pair: pair[0])
+    seqs = [seq for seq, _line in ordered]
+    if len(set(seqs)) != len(seqs):
+        raise ValueError("duplicate ledger sequence numbers across shards")
+    return FrozenServeLedger(lines=tuple(line for _seq, line in ordered))
+

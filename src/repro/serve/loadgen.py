@@ -24,7 +24,7 @@ and latency figures of the report.
 from __future__ import annotations
 
 import asyncio
-from dataclasses import dataclass
+from dataclasses import dataclass, field, replace
 from itertools import islice
 from time import perf_counter
 from typing import Iterator
@@ -36,8 +36,9 @@ from repro.besteffs.gateway import BesteffsGateway
 from repro.besteffs.placement import PlacementConfig
 from repro.core.importance import TwoStepImportance
 from repro.core.obj import StoredObject
-from repro.serve.ledger import ServeLedger
-from repro.serve.protocol import ServeError, StoreRequest
+from repro.serve.ledger import FrozenServeLedger, ServeLedger
+from repro.serve.protocol import ServeError, StoreRequest, StoreStatus
+from repro.serve.router import SPILL_POLICIES, home_shard
 from repro.serve.service import GatewayService, ServeConfig
 from repro.sim.workload.diurnal import DiurnalModulation, OFFICE_HOURS_PROFILE
 from repro.sim.workload.downloads import synthesize_download_trace
@@ -49,9 +50,17 @@ from repro.sim.workload.university import (
 )
 from repro.units import MINUTES_PER_DAY, days, gib, mib
 
-__all__ = ["LoadGenSpec", "LoadGenReport", "run_loadgen", "render_report"]
+__all__ = [
+    "FLASH_CREATOR",
+    "LoadGenSpec",
+    "LoadGenReport",
+    "flash_hot_ids",
+    "render_report",
+    "retry_after_histogram",
+    "run_loadgen",
+]
 
-WORKLOADS = ("university", "downloads", "diurnal")
+WORKLOADS = ("university", "downloads", "diurnal", "flashcrowd")
 MODES = ("closed", "open")
 
 #: Initial-importance ceiling minted per creator class; the student tier
@@ -64,6 +73,15 @@ _CEILINGS = {STUDENT_CREATOR: 0.5}
 #: short-lived-data regime), waning over a few days.
 _DOWNLOAD_LIFETIME = TwoStepImportance(p=0.35, t_persist=days(2), t_wane=days(5))
 _DOWNLOAD_BYTES = mib(64)
+
+#: Creator class of the flash-crowd burst traffic: one hot story, many
+#: mirrors racing to cache the same small payloads.
+FLASH_CREATOR = "flash"
+_FLASH_LIFETIME = TwoStepImportance(p=0.4, t_persist=days(1), t_wane=days(2))
+_FLASH_BYTES = mib(4)
+
+#: Retry-after histogram bucket edges, simulated minutes.
+_RETRY_BUCKETS = (1.0, 5.0, 15.0, 60.0, 240.0, 1440.0)
 
 
 @dataclass(frozen=True)
@@ -98,6 +116,24 @@ class LoadGenSpec:
     period_days: float = 30.0
     #: Hard cap on replayed requests; None replays the whole horizon.
     max_requests: int | None = None
+    #: Gateway shards fronting the cluster; 1 is the legacy single-gateway
+    #: path, >1 routes each request to a shard (:mod:`repro.serve.router`)
+    #: and serves each shard on its own service.
+    shards: int = 1
+    #: Spill policy under home-shard saturation: "overflow" or "never".
+    spill: str = "overflow"
+    #: Offered-load high-water mark (requests in window) triggering spill.
+    high_water: int = 64
+    #: Sliding offered-load window, simulated minutes.
+    window_minutes: float = 1440.0
+    #: Coalesce same-``(principal, object id)`` requests per admission round.
+    coalesce: bool = True
+    #: Flash-crowd workload: distinct hot object ids the burst hammers.
+    hot_objects: int = 8
+    #: Flash-crowd burst volume as a multiple of the base stream.
+    burst_factor: float = 2.0
+    #: Shard whose keyspace the flash crowd aims at (all hot ids home there).
+    target_shard: int = 0
 
     def __post_init__(self) -> None:
         if self.workload not in WORKLOADS:
@@ -116,6 +152,29 @@ class LoadGenSpec:
             raise ServeError(f"max_requests must be >= 1, got {self.max_requests}")
         if self.open_burst < 1:
             raise ServeError(f"open_burst must be >= 1, got {self.open_burst}")
+        if self.shards < 1:
+            raise ServeError(f"shards must be >= 1, got {self.shards}")
+        if self.shards > self.nodes:
+            raise ServeError(
+                f"shards must be <= nodes, got {self.shards} shards "
+                f"over {self.nodes} nodes"
+            )
+        if self.spill not in SPILL_POLICIES:
+            raise ServeError(
+                f"spill must be one of {SPILL_POLICIES}, got {self.spill!r}"
+            )
+        if self.high_water < 1:
+            raise ServeError(f"high_water must be >= 1, got {self.high_water}")
+        if self.window_minutes <= 0:
+            raise ServeError(f"window_minutes must be > 0, got {self.window_minutes}")
+        if self.hot_objects < 1:
+            raise ServeError(f"hot_objects must be >= 1, got {self.hot_objects}")
+        if self.burst_factor < 0:
+            raise ServeError(f"burst_factor must be >= 0, got {self.burst_factor}")
+        if not 0 <= self.target_shard < self.shards:
+            raise ServeError(
+                f"target_shard must be in [0, {self.shards}), got {self.target_shard}"
+            )
 
     def serve_config(self) -> ServeConfig:
         return ServeConfig(
@@ -124,6 +183,7 @@ class LoadGenSpec:
             rate_per_minute=self.rate_per_minute,
             rate_burst=self.rate_burst,
             executor=self.executor,
+            coalesce=self.coalesce,
         )
 
 
@@ -166,6 +226,82 @@ def _download_arrivals(spec: LoadGenSpec) -> Iterator[StoredObject]:
             )
 
 
+def flash_hot_ids(
+    seed: int, shards: int, target_shard: int, hot_objects: int
+) -> list[str]:
+    """The burst's hot object ids, all homed on ``target_shard``.
+
+    Candidate names are enumerated deterministically and rejection-sampled
+    through :func:`repro.serve.router.home_shard`, so the whole crowd aims
+    at one shard's keyspace by construction — the scenario where routing
+    without spill melts a single gateway.
+    """
+    ids: list[str] = []
+    candidate = 0
+    while len(ids) < hot_objects:
+        name = f"flash-{seed}-{candidate:05d}"
+        if home_shard(name, shards) == target_shard:
+            ids.append(name)
+        candidate += 1
+    return ids
+
+
+def _flash_requests(spec: LoadGenSpec, realm: CapabilityRealm) -> list[StoreRequest]:
+    """The slashdot scenario: a university base load plus a hot-key burst.
+
+    The burst adds ``burst_factor`` x the base volume of small cache-grade
+    writes, every one naming one of ``hot_objects`` ids homed on
+    ``target_shard``, spread evenly over the middle third of the horizon.
+    Burst duplicates share object ids but need distinct request ids (the
+    ledger keys responses by them), so each carries an explicit
+    ``req-<object-id>@<k>``.
+    """
+    base_spec = replace(spec, workload="university")
+    merged: list[tuple[float, int, int, StoredObject, str]] = []
+    for idx, obj in enumerate(_arrivals(base_spec)):
+        merged.append((obj.t_arrival, 0, idx, obj, ""))
+    base_count = len(merged)
+    burst_total = int(round(spec.burst_factor * base_count))
+    hot = flash_hot_ids(spec.seed, spec.shards, spec.target_shard, spec.hot_objects)
+    horizon = days(spec.horizon_days)
+    start, end = horizon / 3.0, 2.0 * horizon / 3.0
+    for k in range(burst_total):
+        t = start + (end - start) * k / max(1, burst_total)
+        object_id = hot[k % len(hot)]
+        obj = StoredObject(
+            size=_FLASH_BYTES,
+            t_arrival=t,
+            lifetime=_FLASH_LIFETIME,
+            object_id=object_id,
+            creator=FLASH_CREATOR,
+            metadata={"copy": k},
+        )
+        merged.append((t, 1, k, obj, f"req-{object_id}@{k}"))
+    merged.sort(key=lambda item: (item[0], item[1], item[2]))
+    if spec.max_requests is not None:
+        merged = merged[: spec.max_requests]
+    caps: dict[str, Capability] = {}
+    requests: list[StoreRequest] = []
+    for _t, _src, _idx, obj, request_id in merged:
+        cap = caps.get(obj.creator)
+        if cap is None:
+            cap = caps[obj.creator] = realm.mint(
+                obj.creator,
+                max_initial_importance=_CEILINGS.get(obj.creator, 1.0),
+            )
+        deadline = (
+            None
+            if spec.deadline_minutes is None
+            else obj.t_arrival + spec.deadline_minutes
+        )
+        requests.append(
+            StoreRequest(
+                capability=cap, obj=obj, request_id=request_id, deadline=deadline
+            )
+        )
+    return requests
+
+
 def _arrivals(spec: LoadGenSpec) -> Iterator[StoredObject]:
     horizon = days(spec.horizon_days)
     if spec.workload == "university":
@@ -191,6 +327,8 @@ def build_requests(spec: LoadGenSpec, realm: CapabilityRealm) -> list[StoreReque
     arrival), with the initial-importance ceiling of :data:`_CEILINGS`
     where listed (1.0 otherwise).
     """
+    if spec.workload == "flashcrowd":
+        return _flash_requests(spec, realm)
     caps: dict[str, Capability] = {}
     requests: list[StoreRequest] = []
     stream = _arrivals(spec)
@@ -214,7 +352,14 @@ def build_requests(spec: LoadGenSpec, realm: CapabilityRealm) -> list[StoreReque
 
 @dataclass
 class LoadGenReport:
-    """What one loadgen run produced, measured, and recorded."""
+    """What one loadgen run produced, measured, and recorded.
+
+    Sharded runs (``spec.shards > 1``) fill the same report: counters sum
+    across shards, ``wall_seconds`` is the *slowest shard's* serve wall
+    (the fleet-capacity wall clock — what the run would take with one
+    worker per shard), and ``ledger`` is the seq-merged
+    :class:`~repro.serve.ledger.FrozenServeLedger`.
+    """
 
     spec: LoadGenSpec
     requests: int
@@ -230,11 +375,56 @@ class LoadGenReport:
     latency_p95_s: float
     latency_p99_s: float
     cluster: ClusterStats
-    ledger: ServeLedger
+    ledger: ServeLedger | FrozenServeLedger
+    #: Requests answered from a coalesced sibling's decision.
+    coalesced: int = 0
+    #: Writes acknowledged against an already-resident copy (cross-batch).
+    deduped: int = 0
+    #: Requests routed away from a saturated home shard.
+    spilled: int = 0
+    #: Fair-share ledger debit transactions (coalescing drives this down).
+    fairness_transactions: int = 0
+    #: Histogram of the ``retry_after`` hints handed back, bucketed minutes.
+    retry_after_histogram: dict[str, int] = field(default_factory=dict)
+    #: Per-shard rows ``(shard, nodes, assigned, spilled_in, admitted,
+    #: coalesced, serve_seconds)``; empty for unsharded runs.
+    per_shard: tuple[tuple, ...] = ()
 
     @property
     def admitted(self) -> int:
         return self.responses_by_status.get("admitted", 0)
+
+
+def retry_after_histogram(ledger: ServeLedger | FrozenServeLedger) -> dict[str, int]:
+    """Bucket every non-null ``retry_after`` hint in the ledger (minutes).
+
+    Buckets are fixed (:data:`_RETRY_BUCKETS` edges plus an overflow), and
+    every bucket appears — zero counts included — so reports from
+    different runs line up column-for-column.
+    """
+    if isinstance(ledger, FrozenServeLedger):
+        values = [
+            entry["response"]["retry_after"]
+            for entry in ledger.entry_dicts()
+            if entry["response"]["retry_after"] is not None
+        ]
+    else:
+        values = [
+            entry.response.retry_after
+            for entry in ledger.entries
+            if entry.response.retry_after is not None
+        ]
+    labels = [f"<={edge:g}m" for edge in _RETRY_BUCKETS]
+    labels.append(f">{_RETRY_BUCKETS[-1]:g}m")
+    hist = dict.fromkeys(labels, 0)
+    for value in values:
+        for edge, label in zip(_RETRY_BUCKETS, labels):
+            if value <= edge:
+                hist[label] += 1
+                break
+        else:
+            hist[labels[-1]] += 1
+    return hist
 
 
 def _percentile(sorted_values: list[float], q: float) -> float:
@@ -247,31 +437,46 @@ def _percentile(sorted_values: list[float], q: float) -> float:
 
 async def _drive(
     service: GatewayService,
-    requests: list[StoreRequest],
+    numbered: list[tuple[int, StoreRequest]],
     mode: str,
     clients: int,
     open_burst: int,
 ) -> None:
+    """Submit ``(seq, request)`` pairs closed- or open-loop.
+
+    The explicit sequence number is each request's *global* stream
+    position — identical to the service's own counter in the unsharded
+    path, and the merge key when a shard serves a filtered sub-stream.
+    """
     if mode == "closed":
 
-        async def session(chunk: list[StoreRequest]) -> None:
-            for request in chunk:
-                await service.submit(request)
+        async def session(chunk: list[tuple[int, StoreRequest]]) -> None:
+            for seq, request in chunk:
+                await service.submit(request, seq=seq)
 
-        chunks = [requests[i::clients] for i in range(clients)]
+        chunks = [numbered[i::clients] for i in range(clients)]
         await asyncio.gather(*(session(c) for c in chunks if c))
         return
 
     tasks = []
-    for i, request in enumerate(requests, start=1):
-        tasks.append(asyncio.ensure_future(service.submit(request)))
+    for i, (seq, request) in enumerate(numbered, start=1):
+        tasks.append(asyncio.ensure_future(service.submit(request, seq=seq)))
         if i % open_burst == 0:
             await asyncio.sleep(0)
     await asyncio.gather(*tasks)
 
 
-def run_loadgen(spec: LoadGenSpec) -> LoadGenReport:
-    """Build the deployment, replay the traffic, return the report."""
+def run_loadgen(spec: LoadGenSpec, *, jobs: int = 1) -> LoadGenReport:
+    """Build the deployment, replay the traffic, return the report.
+
+    ``spec.shards > 1`` dispatches to the sharded runner
+    (:func:`repro.serve.sharded.run_sharded`); ``jobs`` then selects how
+    many shard workers execute concurrently and never affects outcomes.
+    """
+    if spec.shards > 1:
+        from repro.serve.sharded import run_sharded
+
+        return run_sharded(spec, jobs=jobs)
     gateway = build_gateway(spec)
     requests = build_requests(spec, gateway.realm)
     ledger = ServeLedger()
@@ -280,7 +485,10 @@ def run_loadgen(spec: LoadGenSpec) -> LoadGenReport:
     async def _run() -> float:
         await service.start()
         t0 = perf_counter()
-        await _drive(service, requests, spec.mode, spec.clients, spec.open_burst)
+        await _drive(
+            service, list(enumerate(requests)), spec.mode, spec.clients,
+            spec.open_burst,
+        )
         await service.stop()
         return perf_counter() - t0
 
@@ -303,37 +511,72 @@ def run_loadgen(spec: LoadGenSpec) -> LoadGenReport:
         latency_p99_s=_percentile(lat, 0.99),
         cluster=gateway.cluster.stats(now=service.clock),
         ledger=ledger,
+        coalesced=service.coalesced_total,
+        deduped=gateway.deduped_total,
+        spilled=0,
+        fairness_transactions=gateway.ledger.transactions,
+        retry_after_histogram=retry_after_histogram(ledger),
     )
 
 
 def render_report(report: LoadGenReport) -> str:
-    """Human-readable summary for the CLI."""
+    """Human-readable summary for the CLI.
+
+    Every :class:`~repro.serve.protocol.StoreStatus` gets a line (zero
+    counts included, so runs line up), shed reasons and the retry-after
+    histogram are broken out, and sharded runs append a per-shard table.
+    """
     spec = report.spec
+    sharding = (
+        f", {spec.shards} shard(s) ({spec.spill} spill)" if spec.shards > 1 else ""
+    )
     lines = [
         f"loadgen: {spec.workload} workload, {spec.mode} loop, "
-        f"{spec.clients} client(s), {spec.nodes} node(s)",
-        f"  requests        {report.requests}",
+        f"{spec.clients} client(s), {spec.nodes} node(s){sharding}",
+        f"  requests          {report.requests}",
+        "  responses by status:",
     ]
-    for status in sorted(report.responses_by_status):
-        lines.append(f"  {status:<15} {report.responses_by_status[status]}")
-    if report.shed_by_reason:
-        shed = ", ".join(
-            f"{reason}={count}" for reason, count in sorted(report.shed_by_reason.items())
+    for status in StoreStatus:
+        lines.append(
+            f"    {status.value:<18} {report.responses_by_status.get(status.value, 0)}"
         )
-        lines.append(f"  shed reasons    {shed}")
+    if report.shed_by_reason:
+        lines.append("  shed reasons:")
+        for reason, count in sorted(report.shed_by_reason.items()):
+            lines.append(f"    {reason:<18} {count}")
+    nonzero = {k: v for k, v in report.retry_after_histogram.items() if v}
+    if nonzero:
+        lines.append("  retry-after histogram (minutes):")
+        for label, count in report.retry_after_histogram.items():
+            lines.append(f"    {label:<18} {count}")
     lines += [
-        f"  batches         {report.batches} (queue peak {report.queue_peak})",
-        f"  throughput      {report.ops_per_sec:,.0f} ops/s over {report.wall_seconds:.3f}s",
+        f"  batches           {report.batches} (queue peak {report.queue_peak})",
         (
-            f"  latency         p50 {report.latency_p50_s * 1e6:,.0f}us  "
+            f"  coalesced         {report.coalesced} sibling(s), "
+            f"{report.deduped} deduped, "
+            f"{report.fairness_transactions} ledger transaction(s)"
+        ),
+        f"  throughput        {report.ops_per_sec:,.0f} ops/s over {report.wall_seconds:.3f}s",
+        (
+            f"  latency           p50 {report.latency_p50_s * 1e6:,.0f}us  "
             f"p95 {report.latency_p95_s * 1e6:,.0f}us  "
             f"p99 {report.latency_p99_s * 1e6:,.0f}us"
         ),
         (
-            f"  cluster         {report.cluster.placed} placed / "
+            f"  cluster           {report.cluster.placed} placed / "
             f"{report.cluster.rejected} rejected, "
             f"{report.cluster.resident_objects} resident"
         ),
-        f"  ledger sha256   {report.ledger.canonical_sha256()}",
+        f"  ledger sha256     {report.ledger.canonical_sha256()}",
     ]
+    if report.per_shard:
+        lines.append(f"  spilled           {report.spilled} (off-home routes)")
+        lines.append("  shard  nodes  assigned  spilled-in  admitted  coalesced  serve-s")
+        for shard, nodes, assigned, spilled_in, admitted, coalesced, serve_s in (
+            report.per_shard
+        ):
+            lines.append(
+                f"  {shard:>5}  {nodes:>5}  {assigned:>8}  {spilled_in:>10}  "
+                f"{admitted:>8}  {coalesced:>9}  {serve_s:>7.3f}"
+            )
     return "\n".join(lines)

@@ -30,18 +30,34 @@ class TokenBucketLimiter:
     minute up to a cap of ``burst``; a request costs one token.  A
     ``rate_per_minute`` of 0 (the default upstream) disables limiting
     entirely.  Buckets start full, so a quiet principal can always burst.
+
+    **Idle expiry.** A bucket that has idled long enough to refill to its
+    cap is byte-for-byte indistinguishable from no bucket at all (a
+    missing principal refills to ``burst`` on first touch), so every
+    ``sweep_every`` acquisitions the limiter drops all such entries.
+    That bounds the per-principal state of a million-principal replay by
+    the number of principals active within one refill window —
+    ``burst / rate_per_minute`` simulated minutes — instead of growing
+    forever, and provably never changes a shed decision.
     """
 
     rate_per_minute: float
     burst: float = 1.0
+    #: Acquisitions between idle-bucket sweeps.
+    sweep_every: int = 4096
+    #: Buckets dropped by idle expiry (monotonic, for reports/tests).
+    evicted_total: int = field(default=0, repr=False)
     _tokens: dict[str, float] = field(default_factory=dict, repr=False)
     _stamp: dict[str, float] = field(default_factory=dict, repr=False)
+    _ops: int = field(default=0, repr=False)
 
     def __post_init__(self) -> None:
         if self.rate_per_minute < 0:
             raise ServeError(f"rate_per_minute must be >= 0, got {self.rate_per_minute}")
         if self.burst < 1.0:
             raise ServeError(f"burst must be >= 1 token, got {self.burst}")
+        if self.sweep_every < 1:
+            raise ServeError(f"sweep_every must be >= 1, got {self.sweep_every}")
 
     @property
     def enabled(self) -> bool:
@@ -60,11 +76,38 @@ class TokenBucketLimiter:
         """Take one token if available; False means shed the request."""
         if not self.enabled:
             return True
+        self._ops += 1
+        if self._ops % self.sweep_every == 0:
+            self.sweep(now)
         tokens = self._refill(principal, now)
         if tokens >= 1.0:
             self._tokens[principal] = tokens - 1.0
             return True
         return False
+
+    def sweep(self, now: float) -> int:
+        """Drop every bucket that has refilled to full; return the count.
+
+        Eviction is lossless: a full bucket behaves identically to a
+        fresh (absent) one on every future call, so sweeping affects
+        memory only, never decisions.
+        """
+        rate = self.rate_per_minute
+        idle = [
+            principal
+            for principal, tokens in self._tokens.items()
+            if tokens + max(0.0, now - self._stamp[principal]) * rate >= self.burst
+        ]
+        for principal in idle:
+            del self._tokens[principal]
+            del self._stamp[principal]
+        self.evicted_total += len(idle)
+        return len(idle)
+
+    @property
+    def tracked_principals(self) -> int:
+        """Buckets currently held in memory (post-sweep lower than seen)."""
+        return len(self._tokens)
 
     def retry_after(self, principal: str, now: float) -> float:
         """Minutes until the principal's bucket holds a whole token again."""

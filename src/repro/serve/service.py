@@ -72,6 +72,10 @@ class ServeConfig:
     executor: str = "inline"
     #: Thread-pool width when ``executor="thread"``.
     threads: int = 4
+    #: Coalesce same-``(principal, object id)`` requests within one
+    #: admission round into a single gateway decision fanned back to all
+    #: callers (the write-dedup half of flash-crowd survival).
+    coalesce: bool = True
 
     def __post_init__(self) -> None:
         if self.queue_size < 1:
@@ -127,6 +131,8 @@ class GatewayService:
         self.shed_by_reason: dict[str, int] = {}
         self.batches = 0
         self.queue_peak = 0
+        #: Requests answered from a coalesced sibling's decision.
+        self.coalesced_total = 0
         #: Wall-clock admission latency of every queue-processed request.
         self.latencies_seconds: list[float] = []
         self._seq = 0
@@ -172,14 +178,22 @@ class GatewayService:
     # -- request path -----------------------------------------------------
 
     async def submit(
-        self, request: StoreRequest, now: float | None = None
+        self,
+        request: StoreRequest,
+        now: float | None = None,
+        *,
+        seq: int | None = None,
     ) -> StoreResponse:
         """Enqueue one request and await its response.
 
         ``now`` is the submission sim-time (defaults to the payload's
         arrival time); the service clock advances to the max seen.
-        Returns immediately — without queuing — when draining, rate
-        limited, or the queue is full.
+        ``seq`` overrides the ledger sequence number — the sharded runner
+        passes each request's *global* stream position so per-shard
+        ledgers merge into one coherent run ledger; by default the
+        service numbers submissions itself.  Returns immediately —
+        without queuing — when draining, rate limited, or the queue is
+        full.
         """
         if self._queue is None:
             raise ServeError("service is not running; call start() first")
@@ -187,8 +201,9 @@ class GatewayService:
             now = request.obj.t_arrival
         if now > self.clock:
             self.clock = now
-        seq = self._seq
-        self._seq += 1
+        if seq is None:
+            seq = self._seq
+            self._seq += 1
         self.requests_total += 1
         if _OBS.enabled:
             _OBS.registry.counter(
@@ -318,23 +333,67 @@ class GatewayService:
     def _handle_batch(
         self, batch: list[_Pending], now: float
     ) -> list[StoreResponse]:
-        """Synchronous batch admission; runs on-loop or on the pool."""
-        responses: list[StoreResponse] = []
-        for pending in batch:
-            request = pending.request
+        """Synchronous batch admission; runs on-loop or on the pool.
+
+        Deadlines are checked first — an expired request is answered
+        ``EXPIRED_IN_QUEUE`` *before* coalescing groups form, so it can
+        neither be admitted through a live sibling's decision nor drag a
+        live sibling down with it.  The surviving requests then coalesce
+        by ``(principal, object id)``: one gateway decision per group,
+        fanned back to every member (siblings carry ``cost_charged=0`` —
+        only the leader's write was charged and placed).
+        """
+        requests = [pending.request for pending in batch]
+        responses: list[StoreResponse | None] = [None] * len(batch)
+        live: list[int] = []
+        for i, request in enumerate(requests):
             if request.deadline is not None and request.deadline < now:
-                responses.append(
-                    StoreResponse(
-                        request_id=request.request_id,
-                        status=StoreStatus.EXPIRED_IN_QUEUE,
-                        detail=(
-                            f"deadline t={request.deadline:g} passed in queue "
-                            f"(admission at t={now:g})"
-                        ),
-                    )
+                responses[i] = StoreResponse(
+                    request_id=request.request_id,
+                    status=StoreStatus.EXPIRED_IN_QUEUE,
+                    detail=(
+                        f"deadline t={request.deadline:g} passed in queue "
+                        f"(admission at t={now:g})"
+                    ),
                 )
-                continue
-            responses.append(self.gateway.handle(request, now=now))
+            else:
+                live.append(i)
+        if self.config.coalesce:
+            groups: dict[tuple[str, str], list[int]] = {}
+            for i in live:
+                key = (requests[i].principal, requests[i].obj.object_id)
+                groups.setdefault(key, []).append(i)
+            members = list(groups.values())
+        else:
+            members = [[i] for i in live]
+        leaders = [requests[idxs[0]] for idxs in members]
+        if hasattr(self.gateway, "handle_batch"):
+            decisions = self.gateway.handle_batch(leaders, now=now)
+        else:  # duck-typed gateways without the batched write path
+            decisions = [self.gateway.handle(r, now=now) for r in leaders]
+        coalesced = 0
+        for idxs, decision in zip(members, decisions):
+            responses[idxs[0]] = decision
+            leader = requests[idxs[0]]
+            for j in idxs[1:]:
+                coalesced += 1
+                responses[j] = StoreResponse(
+                    request_id=requests[j].request_id,
+                    status=decision.status,
+                    detail=(
+                        f"coalesced with {leader.request_id}: {decision.detail}"
+                    ),
+                    decision=decision.decision,
+                    cost_charged=0.0,
+                    retry_after=decision.retry_after,
+                )
+        if coalesced:
+            self.coalesced_total += coalesced
+            if _OBS.enabled:
+                _OBS.registry.counter(
+                    "serve_coalesced_total",
+                    "Requests answered from a coalesced sibling's decision",
+                ).inc(coalesced)
         return responses
 
     def _finish(

@@ -109,3 +109,31 @@ class TestSampleNodes:
         a = sample_nodes(overlay, IDS[0], 5, random.Random(7))
         b = sample_nodes(overlay, IDS[0], 5, random.Random(7))
         assert a == b
+
+
+class TestWholeOverlayShortcut:
+    def test_x_covering_overlay_returns_every_member(self):
+        overlay = Overlay.random_regular(["a", "b", "c"], seed=0)
+        sample = sample_nodes(overlay, "a", 3, random.Random(5))
+        assert sorted(sample) == ["a", "b", "c"]
+
+    def test_shortcut_leaves_rng_untouched(self):
+        # Tiny serving shards hit this on every placement: the walkless
+        # path must not perturb the cluster RNG stream.
+        overlay = Overlay.random_regular(["a", "b"], seed=0)
+        rng = random.Random(5)
+        before = rng.getstate()
+        sample_nodes(overlay, "a", 10, rng)
+        assert rng.getstate() == before
+
+    def test_shortcut_still_validates_start(self):
+        overlay = Overlay.random_regular(["a", "b"], seed=0)
+        with pytest.raises(OverlayError):
+            sample_nodes(overlay, "zz", 5, random.Random(0))
+
+    def test_below_overlay_size_still_walks(self):
+        overlay = Overlay.random_regular(IDS, degree=8, seed=3)
+        rng = random.Random(5)
+        before = rng.getstate()
+        sample_nodes(overlay, IDS[0], 5, rng)
+        assert rng.getstate() != before

@@ -74,3 +74,42 @@ class TestBucket:
         a = TokenBucketLimiter(rate_per_minute=0.3, burst=2.0)
         b = TokenBucketLimiter(rate_per_minute=0.3, burst=2.0)
         assert drive(a) == drive(b)
+
+
+class TestIdleSweep:
+    def test_sweep_drops_refilled_buckets_only(self):
+        limiter = TokenBucketLimiter(rate_per_minute=1.0, burst=2.0, sweep_every=10**9)
+        assert limiter.try_acquire("idle", 0.0)
+        for _ in range(2):
+            assert limiter.try_acquire("busy", 10.0)
+        # "idle" has refilled to burst by t=10; "busy" is empty.
+        assert limiter.sweep(10.0) == 1
+        assert limiter.evicted_total == 1
+        assert limiter.tracked_principals == 1
+
+    def test_sweep_never_changes_shed_decisions(self):
+        def drive(limiter, sweep):
+            out = []
+            for t in range(200):
+                now = t / 3.0
+                out.append(limiter.try_acquire(f"p{t % 5}", now))
+                if sweep and t % 7 == 0:
+                    limiter.sweep(now)
+            return out
+
+        swept = TokenBucketLimiter(rate_per_minute=0.5, burst=2.0, sweep_every=10**9)
+        plain = TokenBucketLimiter(rate_per_minute=0.5, burst=2.0, sweep_every=10**9)
+        assert drive(swept, sweep=True) == drive(plain, sweep=False)
+
+    def test_periodic_sweep_bounds_tracked_state(self):
+        limiter = TokenBucketLimiter(rate_per_minute=10.0, burst=1.0, sweep_every=100)
+        # A million-principal replay: each principal touches the limiter
+        # once and then idles past its refill window.
+        for i in range(1000):
+            limiter.try_acquire(f"p{i}", float(i))
+        assert limiter.tracked_principals < 1000
+        assert limiter.evicted_total > 0
+
+    def test_sweep_every_validated(self):
+        with pytest.raises(ServeError):
+            TokenBucketLimiter(rate_per_minute=1.0, sweep_every=0)
